@@ -1,0 +1,267 @@
+// Benchmarks regenerating the paper's evaluation (§7), one bench family
+// per table/figure. Each benchmark iteration runs a full verification
+// pipeline at a representative parameter point; cmd/yubench prints the
+// complete sweeps. Custom metrics report the paper's secondary axes
+// (MTBDD node counts, scenario counts, equivalence-class counts).
+//
+//	go test -bench=. -benchmem
+package yu
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yu-verify/yu/internal/concrete"
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/flowgen"
+	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/paperex"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/spath"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// mustFatTree builds an FT-m spec with a fraction of pairwise flows.
+func mustFatTree(b *testing.B, pods int, frac float64) (*config.Spec, []topo.Flow) {
+	b.Helper()
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: pods})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 5, frac, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec, flows
+}
+
+// mustWAN builds a quick-scale WAN case.
+func mustWAN(b *testing.B, routers, links, prefixes, nflows int, seed int64) (*config.Spec, []topo.Flow) {
+	b.Helper()
+	spec, err := gen.WAN(gen.WANSpec{Routers: routers, Links: links, Prefixes: prefixes,
+		SRPolicyFraction: 0.1, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{Count: nflows, DSCP5Fraction: 0.3, Seed: seed + 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec, flows
+}
+
+// runYUOnce executes the full symbolic pipeline and reports node metrics.
+func runYUOnce(b *testing.B, spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, opts core.Options) {
+	b.Helper()
+	m := mtbdd.New()
+	budget := k
+	if opts.CheckK > 0 {
+		budget = -1
+	}
+	fv := routesim.NewFailVars(m, spec.Net, mode, budget)
+	rs, err := routesim.Run(fv, spec.Configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(rs, opts)
+	ver := core.NewVerifier(eng, flows)
+	ver.Run(nil, nil, 1.0)
+	b.ReportMetric(float64(m.Stats().PeakUnique), "mtbdd-nodes")
+}
+
+// BenchmarkMotivatingExample verifies Figure 1's P1+P2 end to end.
+func BenchmarkMotivatingExample(b *testing.B) {
+	spec := paperex.MustMotivating()
+	for i := 0; i < b.N; i++ {
+		runYUOnce(b, spec, spec.Flows, 1, topo.FailLinks, core.Options{})
+	}
+}
+
+// BenchmarkFig11 measures k-link-failure verification time, YU vs the
+// enumerating baseline, on the quick-scale N0.
+func BenchmarkFig11(b *testing.B) {
+	spec, flows := mustWAN(b, 100, 200, 60, 5000, 10)
+	for _, k := range []int{1, 2} {
+		b.Run("YU/N0/k="+itoa(k), func(b *testing.B) {
+			if k >= 2 && testing.Short() {
+				b.Skip("short mode")
+			}
+			for i := 0; i < b.N; i++ {
+				runYUOnce(b, spec, flows, k, topo.FailLinks, core.Options{})
+			}
+		})
+	}
+	b.Run("Jingubang/N0/k=1", func(b *testing.B) {
+		sim := concrete.NewSim(spec.Net, spec.Configs)
+		for i := 0; i < b.N; i++ {
+			rep := sim.VerifyKFailures(flows, 1, topo.FailLinks, concrete.EnumOptions{
+				OverloadFactor: 1.0, Incremental: true,
+				Deadline: time.Now().Add(90 * time.Second),
+			})
+			b.ReportMetric(float64(rep.Scenarios), "scenarios")
+		}
+	})
+}
+
+// BenchmarkFig12 measures flow-count scaling on the quick-scale WAN: the
+// time per flow collapses as global equivalence merges behaviors.
+func BenchmarkFig12(b *testing.B) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 100, Links: 200, Prefixes: 60, SRPolicyFraction: 0.1, Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{2000, 8000, 32000} {
+		flows, err := flowgen.Random(spec, flowgen.RandomSpec{Count: n, DSCP5Fraction: 0.3, Seed: 110})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("flows="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runYUOnce(b, spec, flows, 1, topo.FailLinks, core.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 measures per-link aggregation with and without
+// link-local flow equivalence.
+func BenchmarkFig13(b *testing.B) {
+	spec, flows := mustWAN(b, 100, 200, 60, 5000, 10)
+	for _, disable := range []bool{false, true} {
+		name := "with-equiv"
+		if disable {
+			name = "without-equiv"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runYUOnce(b, spec, flows, 1, topo.FailLinks, core.Options{
+					DisableLinkLocalEquiv:   disable,
+					DisableEarlyTermination: true,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig15 measures the FT-4 2-failure sweep endpoints: YU, YU
+// without KREDUCE, and the QARC-style baseline.
+func BenchmarkFig15(b *testing.B) {
+	spec, flows := mustFatTree(b, 4, 21.0/56.0)
+	b.Run("YU/flows=21", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runYUOnce(b, spec, flows, 2, topo.FailLinks, core.Options{})
+		}
+	})
+	b.Run("YU-no-KREDUCE/flows=21", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("short mode")
+		}
+		for i := 0; i < b.N; i++ {
+			runYUOnce(b, spec, flows, 2, topo.FailLinks, core.Options{CheckK: 2})
+		}
+	})
+	b.Run("QARC/flows=21", func(b *testing.B) {
+		model := spath.NewModel(spec.Net, spec.Configs, flows)
+		for i := 0; i < b.N; i++ {
+			rep := model.Verify(2, spath.Options{OverloadFactor: 1.0})
+			b.ReportMetric(float64(rep.Scenarios), "scenarios")
+		}
+	})
+}
+
+// BenchmarkFig16 reports the MTBDD node counts behind Fig 16 (the
+// mtbdd-nodes metric of the Fig 15 benchmarks serves as the data series).
+func BenchmarkFig16(b *testing.B) {
+	spec, flows := mustFatTree(b, 4, 9.0/56.0)
+	b.Run("with-KREDUCE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runYUOnce(b, spec, flows, 2, topo.FailLinks, core.Options{})
+		}
+	})
+	b.Run("without-KREDUCE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runYUOnce(b, spec, flows, 2, topo.FailLinks, core.Options{CheckK: 2})
+		}
+	})
+}
+
+// BenchmarkFig17 measures router-failure verification on quick-scale N0.
+func BenchmarkFig17(b *testing.B) {
+	spec, flows := mustWAN(b, 100, 200, 60, 5000, 10)
+	b.Run("YU/N0/k=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runYUOnce(b, spec, flows, 1, topo.FailRouters, core.Options{})
+		}
+	})
+}
+
+// BenchmarkTable4 measures the FT-m × 16% cells for all three engines.
+func BenchmarkTable4(b *testing.B) {
+	for _, pods := range []int{4, 8} {
+		spec, flows := mustFatTree(b, pods, 0.16)
+		name := "FT" + itoa(pods) + "/16pct"
+		b.Run("YU/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runYUOnce(b, spec, flows, 2, topo.FailLinks, core.Options{})
+			}
+		})
+		b.Run("QARC/"+name, func(b *testing.B) {
+			if pods > 4 && testing.Short() {
+				b.Skip("short mode")
+			}
+			model := spath.NewModel(spec.Net, spec.Configs, flows)
+			for i := 0; i < b.N; i++ {
+				model.Verify(2, spath.Options{OverloadFactor: 1.0, Deadline: time.Now().Add(90 * time.Second)})
+			}
+		})
+		b.Run("Jingubang/"+name, func(b *testing.B) {
+			if pods > 4 {
+				b.Skip("enumeration beyond FT-4 exceeds the bench budget; see cmd/yubench -exp table4")
+			}
+			sim := concrete.NewSim(spec.Net, spec.Configs)
+			for i := 0; i < b.N; i++ {
+				sim.VerifyKFailures(flows, 2, topo.FailLinks, concrete.EnumOptions{
+					OverloadFactor: 1.0, Incremental: true,
+					Deadline: time.Now().Add(90 * time.Second),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSymbolicRouteSim isolates the guarded-RIB phase (the input
+// stage of Fig 2's workflow).
+func BenchmarkSymbolicRouteSim(b *testing.B) {
+	spec, _ := mustWAN(b, 100, 200, 60, 0, 10)
+	for i := 0; i < b.N; i++ {
+		m := mtbdd.New()
+		fv := routesim.NewFailVars(m, spec.Net, topo.FailLinks, 2)
+		if _, err := routesim.Run(fv, spec.Configs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,77 @@
+package yu
+
+import (
+	"math"
+	"testing"
+
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// TestLoadFileFixtures loads the checked-in spec files (the same texts the
+// examples and internal/paperex use) and verifies their headline findings.
+func TestLoadFileFixtures(t *testing.T) {
+	t.Run("motivating", func(t *testing.T) {
+		n, err := LoadFile("testdata/motivating.yu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Holds {
+			t.Error("motivating example: P2 must be violated")
+		}
+	})
+	t.Run("sranycast", func(t *testing.T) {
+		n, err := LoadFile("testdata/sranycast.yu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Holds {
+			t.Error("sranycast: B1-B2 must be overloadable")
+		}
+		for _, v := range rep.Violations {
+			if v.Link.Link() != mustLink(t, n, "B1", "B2") {
+				t.Errorf("unexpected overloaded link %s", n.Topology().DirLinkName(v.Link))
+			}
+			if math.Abs(v.Value-80) > 1e-6 {
+				t.Errorf("B1-B2 load = %.6g, want 80", v.Value)
+			}
+		}
+	})
+	t.Run("misconfig", func(t *testing.T) {
+		n, err := LoadFile("testdata/misconfig.yu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := n.Verify(VerifyOptions{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Holds {
+			t.Fatal("misconfig: delivery must be violated")
+		}
+		v := rep.Violations[0]
+		if v.Kind != "delivered" || v.Value > 1e-6 {
+			t.Errorf("violation = %+v, want delivered=0", v)
+		}
+		d1wan := mustLink(t, n, "D1", "WAN")
+		if len(v.FailedLinks) != 1 || v.FailedLinks[0] != d1wan {
+			t.Errorf("witness = %v, want the D1-WAN link", v.FailedLinks)
+		}
+	})
+}
+
+func mustLink(t *testing.T, n *Network, a, b string) topo.LinkID {
+	t.Helper()
+	l, ok := n.Topology().FindLink(a, b)
+	if !ok {
+		t.Fatalf("no link %s-%s", a, b)
+	}
+	return l.ID
+}

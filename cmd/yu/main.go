@@ -1,0 +1,265 @@
+// Command yu verifies traffic load properties of a network specification
+// under arbitrary k-failure scenarios.
+//
+// Usage:
+//
+//	yu verify [-k N] [-mode links|routers|both] [-overload FACTOR]
+//	          [-engine yu|enumerate|spath] [-no-kreduce] [-no-equiv]
+//	          [-stats] spec.yu
+//	yu show spec.yu
+//
+// The spec format is documented in the README (routers, links, config
+// blocks, flows, properties, failures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/concrete"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "dot":
+		cmdDot(os.Args[2:])
+	case "loads":
+		cmdLoads(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: yu <command> [flags] spec.yu
+  verify   check traffic load properties under k failures
+  show     print the parsed specification
+  dot      emit the topology as Graphviz DOT
+  loads    simulate one concrete failure scenario and print link loads`)
+	os.Exit(2)
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	k := fs.Int("k", 0, "failure budget (0 = use the spec's)")
+	mode := fs.String("mode", "", "failure mode: links, routers, or both (default: spec's)")
+	overload := fs.Float64("overload", 0, "check all links against FACTOR x capacity")
+	engine := fs.String("engine", "yu", "engine: yu, enumerate, or spath")
+	noKReduce := fs.Bool("no-kreduce", false, "disable k-failure MTBDD reduction (ablation)")
+	noEquiv := fs.Bool("no-equiv", false, "disable flow equivalence reductions (ablation)")
+	stats := fs.Bool("stats", false, "print per-link statistics")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	net, err := yu.LoadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := yu.VerifyOptions{
+		K:                     *k,
+		OverloadFactor:        *overload,
+		DisableKReduce:        *noKReduce,
+		DisableLinkLocalEquiv: *noEquiv,
+		DisableGlobalEquiv:    *noEquiv,
+	}
+	switch *mode {
+	case "":
+	case "links":
+		opts.Mode, opts.ModeSet = yu.FailLinks, true
+	case "routers":
+		opts.Mode, opts.ModeSet = yu.FailRouters, true
+	case "both":
+		opts.Mode, opts.ModeSet = yu.FailBoth, true
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *engine {
+	case "yu":
+		opts.Engine = yu.EngineYU
+	case "enumerate":
+		opts.Engine = yu.EngineEnumerate
+	case "spath":
+		opts.Engine = yu.EngineShortestPath
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	rep, err := net.Verify(opts)
+	if err != nil {
+		fatal(err)
+	}
+	topoN := net.Topology()
+	if rep.Holds {
+		fmt.Printf("VERIFIED: all properties hold under the failure budget (%v)\n", rep.Elapsed)
+	} else {
+		fmt.Printf("VIOLATED: %d violation(s) found (%v)\n", len(rep.Violations), rep.Elapsed)
+		for _, v := range rep.Violations {
+			fmt.Println("  " + v.Describe(topoN))
+		}
+	}
+	if *stats {
+		fmt.Printf("flows: %d input, %d executed\n", rep.FlowsTotal, rep.FlowsExecuted)
+		if rep.MTBDDNodes > 0 {
+			fmt.Printf("MTBDD nodes: %d\n", rep.MTBDDNodes)
+		}
+		if rep.Scenarios > 0 {
+			fmt.Printf("scenarios simulated: %d\n", rep.Scenarios)
+		}
+		if len(rep.LinkStats) > 0 {
+			sort.Slice(rep.LinkStats, func(i, j int) bool {
+				return rep.LinkStats[i].Elapsed > rep.LinkStats[j].Elapsed
+			})
+			n := len(rep.LinkStats)
+			if n > 10 {
+				n = 10
+			}
+			fmt.Println("slowest links:")
+			for _, s := range rep.LinkStats[:n] {
+				fmt.Printf("  %-24s flows=%-6d classes=%-5d %v\n",
+					topoN.DirLinkName(s.Link), s.Flows, s.Classes, s.Elapsed)
+			}
+		}
+	}
+	if !rep.Holds {
+		os.Exit(1)
+	}
+}
+
+func cmdShow(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	net, err := yu.LoadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	spec := net.Spec()
+	t := spec.Net
+	fmt.Printf("routers: %d, links: %d, ASes: %v\n", t.NumRouters(), t.NumLinks(), t.ASes())
+	for _, r := range t.Routers {
+		fmt.Printf("  %-10s AS %-6d loopback %s\n", r.Name, r.AS, r.Loopback)
+	}
+	for i := range t.Links {
+		l := t.Link(topo.LinkID(i))
+		fmt.Printf("  link %-12s cost %d/%d capacity %g\n",
+			t.LinkName(l.ID), l.CostAB, l.CostBA, l.Capacity)
+	}
+	fmt.Printf("flows: %d\n", len(spec.Flows))
+	for _, f := range spec.Flows {
+		fmt.Printf("  %s enters at %s\n", f, t.Router(f.Ingress).Name)
+	}
+	fmt.Printf("properties: %d link bounds, %d delivered bounds; failures k=%d mode=%s\n",
+		len(spec.Props), len(spec.Delivered), spec.K, spec.Mode)
+}
+
+// cmdDot emits the topology as Graphviz DOT, annotating links with cost
+// and capacity.
+func cmdDot(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	net, err := yu.LoadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	t := net.Topology()
+	fmt.Println("graph network {")
+	fmt.Println("  layout=neato; overlap=false; splines=true;")
+	for _, r := range t.Routers {
+		fmt.Printf("  %q [label=\"%s\\nAS %d\"];\n", r.Name, r.Name, r.AS)
+	}
+	for i := range t.Links {
+		l := t.Link(topo.LinkID(i))
+		fmt.Printf("  %q -- %q [label=\"%g G\"];\n",
+			t.Router(l.A).Name, t.Router(l.B).Name, l.Capacity)
+	}
+	fmt.Println("}")
+}
+
+// cmdLoads simulates a single concrete failure scenario with the
+// Jingubang-style simulator and prints nonzero link loads — the tool a
+// network operator reaches for when analyzing a witness scenario.
+func cmdLoads(args []string) {
+	fs := flag.NewFlagSet("loads", flag.ExitOnError)
+	fail := fs.String("fail", "", "comma-separated failed links (A-B,C-D) and routers (X)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	net, err := yu.LoadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	spec := net.Spec()
+	t := spec.Net
+	sc := concrete.NewScenario(t)
+	if *fail != "" {
+		for _, name := range strings.Split(*fail, ",") {
+			if i := strings.IndexByte(name, '-'); i >= 0 {
+				l, ok := t.FindLink(name[:i], name[i+1:])
+				if !ok {
+					fatal(fmt.Errorf("no link %q", name))
+				}
+				sc.LinkDown[l.ID] = true
+			} else {
+				r, ok := t.RouterByName(name)
+				if !ok {
+					fatal(fmt.Errorf("no router %q", name))
+				}
+				sc.RouterDown[r.ID] = true
+			}
+		}
+	}
+	sim := concrete.NewSim(t, spec.Configs)
+	res := sim.Simulate(sc, spec.Flows)
+	type row struct {
+		name string
+		load float64
+		cap  float64
+	}
+	var rows []row
+	for li := range t.Links {
+		l := t.Link(topo.LinkID(li))
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			dl := topo.MakeDirLinkID(l.ID, d)
+			if v := res.Load[dl]; v > 1e-9 {
+				rows = append(rows, row{t.DirLinkName(dl), v, l.Capacity})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].load > rows[j].load })
+	for _, r := range rows {
+		marker := ""
+		if r.load > r.cap {
+			marker = "  << OVERLOAD"
+		}
+		fmt.Printf("%-24s %10.3f / %g Gbps%s\n", r.name, r.load, r.cap, marker)
+	}
+	var delivered, dropped float64
+	for fi := range spec.Flows {
+		delivered += res.Delivered[fi]
+		dropped += res.Dropped[fi]
+	}
+	fmt.Printf("delivered %.3f Gbps, dropped %.3f Gbps\n", delivered, dropped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yu:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command yubench regenerates the paper's evaluation tables and figures
+// (§7) on synthetic stand-in networks.
+//
+// Usage:
+//
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|all
+//	        [-scale quick|full] [-baseline-budget 30s]
+//
+// Quick scale finishes in minutes; full scale uses the paper's Table 3
+// router/link counts and can run for hours single-threaded. Baseline
+// engines (QARC-style search, Jingubang-style enumeration) are bounded by
+// -baseline-budget and report "> budget (timeout)" when exceeded, just as
+// the paper reports "> 3600" cells.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/yu-verify/yu/internal/bench"
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/paperex"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, or all")
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			bench.Table1(os.Stdout, map[string]*config.Spec{
+				"motivating (SR+iBGP)": paperex.MustMotivating(),
+			})
+			return nil
+		},
+		"table3": func() error { return bench.Table3(os.Stdout, scale) },
+		"table4": func() error { return bench.Table4(os.Stdout, scale, *budget) },
+		"fig11":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailLinks, *budget) },
+		"fig12":  func() error { return bench.Fig12(os.Stdout, scale) },
+		"fig13":  func() error { return bench.Fig13and14(os.Stdout, scale) },
+		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
+		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
+	}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runners[name](); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yubench:", err)
+	os.Exit(1)
+}

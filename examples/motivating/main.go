@@ -1,0 +1,56 @@
+// Motivating example (paper Figure 1): six routers in three ASes running
+// eBGP/iBGP, IS-IS, and SR, carrying two flows toward 100.0.0.0/24.
+//
+// The program verifies the paper's two properties:
+//
+//	P1: traffic delivered to the destination does not drop below 70 Gbps
+//	P2: no link carries 95 Gbps or more
+//
+// and reproduces the published finding: P1 holds under any single link
+// failure, while P2 is violated — failing B-D funnels all 100 Gbps of
+// both flows through link C-E (Figure 1(c)).
+//
+//	go run ./examples/motivating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/paperex"
+)
+
+func main() {
+	net, err := yu.LoadString(paperex.Motivating)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := net.Topology()
+
+	// P1 is declared in the spec (property delivered ... min 70).
+	rep, err := net.Verify(yu.VerifyOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P1 (delivered >= 70 Gbps) under 1-link failures: holds=%v (%v)\n",
+		rep.Holds, rep.Elapsed)
+
+	// P2: no link carries >= 95 Gbps, checked on every link.
+	rep, err = net.Verify(yu.VerifyOptions{K: 1, OverloadFactor: 0.95})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P2 (no link >= 95 Gbps) under 1-link failures: holds=%v\n", rep.Holds)
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v.Describe(t))
+	}
+
+	// Cross-check with the Jingubang-style enumerating baseline.
+	enum, err := net.Verify(yu.VerifyOptions{K: 1, OverloadFactor: 0.95, Engine: yu.EngineEnumerate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enumeration agrees: holds=%v over %d concrete scenarios\n",
+		enum.Holds, enum.Scenarios)
+}

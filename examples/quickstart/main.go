@@ -1,0 +1,57 @@
+// Quickstart: define a small network inline, verify a traffic load
+// property under 1-link failures, and print the witness scenario.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/yu-verify/yu"
+)
+
+const spec = `
+# Two data centers dual-homed to a small core.
+router dc1 as 65101 loopback 10.0.0.1
+router dc2 as 65102 loopback 10.0.0.2
+router c1  as 65000 loopback 10.0.0.11
+router c2  as 65000 loopback 10.0.0.12
+
+link dc1 c1 cost 10 capacity 100
+link dc1 c2 cost 10 capacity 100
+link c1 c2  cost 10 capacity 100
+link c1 dc2 cost 10 capacity 100
+link c2 dc2 cost 10 capacity 100
+
+auto-bgp-mesh
+
+config dc2
+  network 192.0.2.0/24
+
+# 120 Gbps from dc1 to dc2, normally split 60/60 over the two core paths.
+flow web ingress dc1 src 198.51.100.1 dst 192.0.2.10 gbps 120
+
+failures k 1 mode links
+`
+
+func main() {
+	net, err := yu.LoadString(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Check that no link ever carries more than its capacity.
+	rep, err := net.Verify(yu.VerifyOptions{OverloadFactor: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Holds {
+		fmt.Println("all links stay within capacity under any single link failure")
+		return
+	}
+	fmt.Printf("found %d overload scenario(s) in %v:\n", len(rep.Violations), rep.Elapsed)
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v.Describe(net.Topology()))
+	}
+	// With one core path down, all 120 Gbps squeezes onto the survivor.
+}

@@ -1,0 +1,3 @@
+module github.com/yu-verify/yu
+
+go 1.22

@@ -1,0 +1,221 @@
+package config
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const miniSpec = `
+# two-AS toy network
+router A as 100 loopback 10.0.0.1
+router B as 200 loopback 10.0.0.2
+router C as 200 loopback 10.0.0.3
+link A B cost 5 capacity 40 addr-a 1.0.0.1 addr-b 1.0.0.2
+link B C cost 7
+auto-bgp-mesh
+
+config C
+  network 9.9.9.0/24
+config A
+  neighbor 1.0.0.2 remote-as 200 local-pref 150
+  static 8.0.0.0/8 discard
+  sr-policy 10.0.0.3/32 dscp 7
+    path 10.0.0.2 10.0.0.3 weight 10
+
+flow f1 ingress A src 2.0.0.1 dst 9.9.9.1 dscp 7 gbps 3.5
+property link A-B max 35
+property dirlink B->C min 1 max 30
+property delivered 9.9.9.0/24 min 3
+failures k 2 mode both
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpecString(miniSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Net.NumRouters() != 3 || spec.Net.NumLinks() != 2 {
+		t.Fatalf("topology: %d routers %d links", spec.Net.NumRouters(), spec.Net.NumLinks())
+	}
+	if spec.K != 2 || spec.Mode.String() != "both" {
+		t.Errorf("failures: k=%d mode=%s", spec.K, spec.Mode)
+	}
+	if len(spec.Flows) != 1 {
+		t.Fatalf("flows: %d", len(spec.Flows))
+	}
+	f := spec.Flows[0]
+	if f.Name != "f1" || f.DSCP != 7 || f.Gbps != 3.5 || !f.Dst.IsValid() {
+		t.Errorf("flow = %+v", f)
+	}
+	if len(spec.Props) != 2 {
+		t.Fatalf("props: %d", len(spec.Props))
+	}
+	if spec.Props[0].DirSpecified || spec.Props[0].Max != 35 || spec.Props[0].Min != 0 {
+		t.Errorf("prop0 = %+v", spec.Props[0])
+	}
+	if !spec.Props[1].DirSpecified || spec.Props[1].Min != 1 || spec.Props[1].Max != 30 {
+		t.Errorf("prop1 = %+v", spec.Props[1])
+	}
+	if len(spec.Delivered) != 1 || spec.Delivered[0].Min != 3 || !math.IsInf(spec.Delivered[0].Max, 1) {
+		t.Errorf("delivered = %+v", spec.Delivered)
+	}
+
+	ca := spec.Configs["A"]
+	if ca == nil {
+		t.Fatal("config A missing")
+	}
+	if len(ca.Statics) != 1 || !ca.Statics[0].Discard {
+		t.Errorf("statics = %+v", ca.Statics)
+	}
+	if len(ca.SRPolicies) != 1 {
+		t.Fatalf("sr policies = %+v", ca.SRPolicies)
+	}
+	pol := ca.SRPolicies[0]
+	if pol.MatchDSCP != 7 || len(pol.Paths) != 1 || pol.Paths[0].Weight != 10 {
+		t.Errorf("sr policy = %+v", pol)
+	}
+	if pol.TotalWeight() != 10 {
+		t.Errorf("TotalWeight = %d", pol.TotalWeight())
+	}
+	// The explicit neighbor with local-pref must survive auto-bgp-mesh.
+	found := false
+	for _, nb := range ca.Neighbors {
+		if nb.Addr == netip.MustParseAddr("1.0.0.2") && nb.LocalPref == 150 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("explicit neighbor lost: %+v", ca.Neighbors)
+	}
+	// auto-bgp-mesh must add the iBGP session B<->C.
+	cb := spec.Configs["B"]
+	if cb == nil {
+		t.Fatal("config B missing (auto-bgp-mesh)")
+	}
+	ibgp := false
+	for _, nb := range cb.Neighbors {
+		if nb.Addr == netip.MustParseAddr("10.0.0.3") && nb.RemoteAS == 200 {
+			ibgp = true
+		}
+	}
+	if !ibgp {
+		t.Errorf("iBGP mesh missing on B: %+v", cb.Neighbors)
+	}
+}
+
+func TestSRPolicyMatches(t *testing.T) {
+	pol := SRPolicy{
+		Endpoint:  netip.MustParsePrefix("10.0.0.3/32"),
+		MatchDSCP: 7,
+	}
+	if !pol.Matches(netip.MustParseAddr("10.0.0.3"), 7) {
+		t.Error("exact match failed")
+	}
+	if pol.Matches(netip.MustParseAddr("10.0.0.3"), 5) {
+		t.Error("dscp mismatch must not match")
+	}
+	if pol.Matches(netip.MustParseAddr("10.0.0.4"), 7) {
+		t.Error("address mismatch must not match")
+	}
+	pol.MatchDSCP = AnyDSCP
+	if !pol.Matches(netip.MustParseAddr("10.0.0.3"), 63) {
+		t.Error("AnyDSCP must match any dscp")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantSub string
+	}{
+		{"unknown keyword", "bogus x", "unknown keyword"},
+		{"bad router", "router A", "usage: router"},
+		{"bad as", "router A as x", "bad AS"},
+		{"link unknown router", "router A as 1\nlink A B", "unknown router"},
+		{"config context", "network 1.0.0.0/8", "outside a config block"},
+		{"path outside policy", "router A as 1\nconfig A\npath 10.0.0.1 weight 3", "outside an sr-policy"},
+		{"flow missing fields", "router A as 1\nflow f ingress A", "flow needs at least"},
+		{"flow unknown ingress", "router A as 1\nflow f ingress Z dst 1.1.1.1 gbps 1", "unknown ingress"},
+		{"bad property link", "router A as 1\nrouter B as 1\nlink A B\nproperty link A-Z max 5", "no link"},
+		{"bad dirlink", "router A as 1\nproperty dirlink AB max 5", "bad dirlink"},
+		{"bad k", "failures k -1", "bad k"},
+		{"bad mode", "failures mode sideways", "bad mode"},
+		{"neighbor not connected", `
+router A as 1
+router B as 2
+router C as 3
+link A B addr-a 1.0.0.1 addr-b 1.0.0.2
+link B C addr-a 2.0.0.1 addr-b 2.0.0.2
+config A
+  neighbor 2.0.0.2 remote-as 3
+`, "not directly connected"},
+		{"ibgp wrong as", `
+router A as 1 loopback 10.0.0.1
+router B as 2 loopback 10.0.0.2
+link A B
+config A
+  neighbor 10.0.0.2 remote-as 1
+`, "is in AS"},
+		{"sr segment not loopback", `
+router A as 1
+router B as 1
+link A B
+config A
+  sr-policy 10.0.0.9/32
+    path 99.99.99.99 weight 1
+`, "not a router loopback"},
+		{"sr no paths", `
+router A as 1
+router B as 1
+link A B
+config A
+  sr-policy 10.0.0.9/32
+`, "no paths"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpecString(tc.spec)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateStaticNextHop(t *testing.T) {
+	_, err := ParseSpecString(`
+router A as 1
+router B as 1
+link A B
+config A
+  static 7.0.0.0/8 via 4.4.4.4
+`)
+	if err == nil || !strings.Contains(err.Error(), "unresolvable") {
+		t.Fatalf("want unresolvable static error, got %v", err)
+	}
+}
+
+func TestConfigsGet(t *testing.T) {
+	c := make(Configs)
+	r := c.Get("X")
+	if r.Name != "X" {
+		t.Error("Get must initialize Name")
+	}
+	if c.Get("X") != r {
+		t.Error("Get must be idempotent")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	spec, err := ParseSpecString("  # leading comment\n\n\trouter A as 1 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Net.NumRouters() != 1 {
+		t.Error("comment handling broken")
+	}
+}

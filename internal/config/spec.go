@@ -1,0 +1,553 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Spec is a fully parsed network specification: topology, device
+// configurations, input flows, traffic load properties, and the failure
+// budget — everything one verification run needs.
+type Spec struct {
+	Net       *topo.Network
+	Configs   Configs
+	Flows     []topo.Flow
+	Props     []topo.LoadBound
+	Delivered []topo.DeliveredBound
+	K         int
+	Mode      topo.FailureMode
+}
+
+// ParseSpec reads the textual network specification format:
+//
+//	# topology
+//	router A as 100 [loopback 10.0.0.1]
+//	link A B [cost N] [capacity G] [addr-a IP addr-b IP]
+//
+//	# per-router configuration (until the next top-level keyword)
+//	config A
+//	  network 100.0.0.0/24
+//	  neighbor 1.3.0.2 remote-as 300 [local-pref N] [next-hop-self]
+//	  static 10.0.0.0/8 (discard | via IP)
+//	  redistribute static
+//	  sr-policy 10.0.0.6/32 [dscp N]
+//	    path IP [IP...] weight N
+//
+//	# convenience: eBGP on inter-AS links + iBGP full mesh per AS
+//	auto-bgp-mesh
+//
+//	# workload and properties
+//	flow f1 ingress A src 11.0.0.1 dst 100.0.0.1 [dscp N] gbps 20
+//	property link A-B [min G] [max G]
+//	property dirlink A->B [min G] [max G]
+//	failures k 2 mode (links|routers|both)
+//
+// '#' starts a comment; blank lines are ignored; indentation is free-form.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	p := &specParser{
+		b:       topo.NewBuilder(),
+		configs: make(Configs),
+		k:       1,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.line(fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.finish()
+}
+
+// ParseSpecString is ParseSpec on a string, convenient for examples/tests.
+func ParseSpecString(s string) (*Spec, error) {
+	return ParseSpec(strings.NewReader(s))
+}
+
+type specParser struct {
+	b       *topo.Builder
+	configs Configs
+
+	// deferred items resolved after the topology is built
+	flows    []pendingFlow
+	props    []pendingProp
+	autoMesh bool
+
+	cur      *Router   // active "config X" block
+	curSR    *SRPolicy // active "sr-policy" block
+	k        int
+	mode     topo.FailureMode
+	sawRname map[string]bool
+}
+
+type pendingFlow struct {
+	flow    topo.Flow
+	ingress string
+}
+
+type pendingProp struct {
+	a, b      string
+	directed  bool
+	delivered netip.Prefix
+	min, max  float64
+}
+
+func (p *specParser) line(f []string) error {
+	switch f[0] {
+	case "router":
+		return p.router(f[1:])
+	case "link":
+		return p.link(f[1:])
+	case "config":
+		if len(f) != 2 {
+			return fmt.Errorf("config wants a router name")
+		}
+		p.cur = p.configs.Get(f[1])
+		p.curSR = nil
+		return nil
+	case "auto-bgp-mesh":
+		p.autoMesh = true
+		return nil
+	case "flow":
+		return p.flow(f[1:])
+	case "property":
+		return p.property(f[1:])
+	case "failures":
+		return p.failures(f[1:])
+	case "network", "neighbor", "static", "redistribute", "sr-policy", "path":
+		if p.cur == nil {
+			return fmt.Errorf("%q outside a config block", f[0])
+		}
+		return p.configLine(f)
+	}
+	return fmt.Errorf("unknown keyword %q", f[0])
+}
+
+func (p *specParser) router(f []string) error {
+	if len(f) < 3 || f[1] != "as" {
+		return fmt.Errorf("usage: router NAME as NUM [loopback IP]")
+	}
+	as, err := strconv.ParseUint(f[2], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad AS %q", f[2])
+	}
+	var opts []topo.RouterOpt
+	rest := f[3:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "loopback":
+			if len(rest) < 2 {
+				return fmt.Errorf("loopback wants an address")
+			}
+			a, err := netip.ParseAddr(rest[1])
+			if err != nil {
+				return err
+			}
+			opts = append(opts, topo.WithLoopback(a))
+			rest = rest[2:]
+		case "nofail":
+			opts = append(opts, topo.RouterNoFail())
+			rest = rest[1:]
+		default:
+			return fmt.Errorf("unknown router option %q", rest[0])
+		}
+	}
+	if p.sawRname == nil {
+		p.sawRname = make(map[string]bool)
+	}
+	p.sawRname[f[0]] = true
+	p.b.AddRouter(f[0], uint32(as), opts...)
+	return nil
+}
+
+func (p *specParser) link(f []string) error {
+	if len(f) < 2 {
+		return fmt.Errorf("usage: link A B [cost N] [capacity G] [addr-a IP addr-b IP]")
+	}
+	a, b := f[0], f[1]
+	var opts []topo.LinkOpt
+	var addrA, addrB netip.Addr
+	rest := f[2:]
+	for len(rest) > 0 {
+		if rest[0] == "nofail" {
+			opts = append(opts, topo.LinkNoFail())
+			rest = rest[1:]
+			continue
+		}
+		if len(rest) < 2 {
+			return fmt.Errorf("link option %q wants a value", rest[0])
+		}
+		switch rest[0] {
+		case "cost":
+			c, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad cost %q", rest[1])
+			}
+			opts = append(opts, topo.WithCost(c))
+		case "capacity":
+			g, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad capacity %q", rest[1])
+			}
+			opts = append(opts, topo.WithCapacity(g))
+		case "addr-a":
+			addr, err := netip.ParseAddr(rest[1])
+			if err != nil {
+				return err
+			}
+			addrA = addr
+		case "addr-b":
+			addr, err := netip.ParseAddr(rest[1])
+			if err != nil {
+				return err
+			}
+			addrB = addr
+		default:
+			return fmt.Errorf("unknown link option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if addrA.IsValid() != addrB.IsValid() {
+		return fmt.Errorf("addr-a and addr-b must be given together")
+	}
+	if addrA.IsValid() {
+		opts = append(opts, topo.WithAddrs(addrA, addrB))
+	}
+	p.b.AddLink(a, b, opts...)
+	return nil
+}
+
+func (p *specParser) configLine(f []string) error {
+	switch f[0] {
+	case "network":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: network PREFIX")
+		}
+		pfx, err := netip.ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		p.cur.Networks = append(p.cur.Networks, pfx.Masked())
+		return nil
+	case "neighbor":
+		if len(f) < 4 || f[2] != "remote-as" {
+			return fmt.Errorf("usage: neighbor IP remote-as NUM [local-pref N] [next-hop-self]")
+		}
+		addr, err := netip.ParseAddr(f[1])
+		if err != nil {
+			return err
+		}
+		as, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad AS %q", f[3])
+		}
+		nb := BGPNeighbor{Addr: addr, RemoteAS: uint32(as)}
+		rest := f[4:]
+		for len(rest) > 0 {
+			switch rest[0] {
+			case "local-pref":
+				if len(rest) < 2 {
+					return fmt.Errorf("local-pref wants a value")
+				}
+				lp, err := strconv.ParseUint(rest[1], 10, 32)
+				if err != nil {
+					return fmt.Errorf("bad local-pref %q", rest[1])
+				}
+				nb.LocalPref = uint32(lp)
+				rest = rest[2:]
+			case "next-hop-self":
+				nb.NextHopSelf = true
+				rest = rest[1:]
+			case "export-deny":
+				if len(rest) < 2 {
+					return fmt.Errorf("export-deny wants a prefix")
+				}
+				pfx, err := netip.ParsePrefix(rest[1])
+				if err != nil {
+					return err
+				}
+				nb.ExportDeny = append(nb.ExportDeny, pfx.Masked())
+				rest = rest[2:]
+			default:
+				return fmt.Errorf("unknown neighbor option %q", rest[0])
+			}
+		}
+		p.cur.Neighbors = append(p.cur.Neighbors, nb)
+		return nil
+	case "static":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: static PREFIX (discard | via IP)")
+		}
+		pfx, err := netip.ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		s := StaticRoute{Prefix: pfx.Masked()}
+		switch f[2] {
+		case "discard":
+			s.Discard = true
+		case "via":
+			if len(f) != 4 {
+				return fmt.Errorf("static via wants an address")
+			}
+			nh, err := netip.ParseAddr(f[3])
+			if err != nil {
+				return err
+			}
+			s.NextHop = nh
+		default:
+			return fmt.Errorf("static wants 'discard' or 'via IP'")
+		}
+		p.cur.Statics = append(p.cur.Statics, s)
+		return nil
+	case "redistribute":
+		if len(f) != 2 || f[1] != "static" {
+			return fmt.Errorf("usage: redistribute static")
+		}
+		p.cur.RedistributeStatic = true
+		return nil
+	case "sr-policy":
+		if len(f) < 2 {
+			return fmt.Errorf("usage: sr-policy PREFIX [dscp N]")
+		}
+		pfx, err := netip.ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		pol := SRPolicy{Endpoint: pfx.Masked(), MatchDSCP: AnyDSCP}
+		if len(f) > 2 {
+			if len(f) != 4 || f[2] != "dscp" {
+				return fmt.Errorf("usage: sr-policy PREFIX [dscp N]")
+			}
+			d, err := strconv.Atoi(f[3])
+			if err != nil || d < 0 || d > 63 {
+				return fmt.Errorf("bad dscp %q", f[3])
+			}
+			pol.MatchDSCP = d
+		}
+		p.cur.SRPolicies = append(p.cur.SRPolicies, pol)
+		p.curSR = &p.cur.SRPolicies[len(p.cur.SRPolicies)-1]
+		return nil
+	case "path":
+		if p.curSR == nil {
+			return fmt.Errorf("path outside an sr-policy")
+		}
+		if len(f) < 4 || f[len(f)-2] != "weight" {
+			return fmt.Errorf("usage: path IP [IP...] weight N")
+		}
+		w, err := strconv.ParseInt(f[len(f)-1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad weight %q", f[len(f)-1])
+		}
+		var segs []netip.Addr
+		for _, s := range f[1 : len(f)-2] {
+			a, err := netip.ParseAddr(s)
+			if err != nil {
+				return err
+			}
+			segs = append(segs, a)
+		}
+		p.curSR.Paths = append(p.curSR.Paths, SRPath{Segments: segs, Weight: w})
+		return nil
+	}
+	return fmt.Errorf("unknown config keyword %q", f[0])
+}
+
+func (p *specParser) flow(f []string) error {
+	if len(f) < 1 {
+		return fmt.Errorf("flow wants a name")
+	}
+	fl := pendingFlow{flow: topo.Flow{Name: f[0], Gbps: math.NaN()}}
+	rest := f[1:]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return fmt.Errorf("flow option %q wants a value", rest[0])
+		}
+		switch rest[0] {
+		case "ingress":
+			fl.ingress = rest[1]
+		case "src":
+			a, err := netip.ParseAddr(rest[1])
+			if err != nil {
+				return err
+			}
+			fl.flow.Src = a
+		case "dst":
+			a, err := netip.ParseAddr(rest[1])
+			if err != nil {
+				return err
+			}
+			fl.flow.Dst = a
+		case "dscp":
+			d, err := strconv.Atoi(rest[1])
+			if err != nil || d < 0 || d > 63 {
+				return fmt.Errorf("bad dscp %q", rest[1])
+			}
+			fl.flow.DSCP = uint8(d)
+		case "gbps":
+			g, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad gbps %q", rest[1])
+			}
+			fl.flow.Gbps = g
+		default:
+			return fmt.Errorf("unknown flow option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if fl.ingress == "" || !fl.flow.Dst.IsValid() || math.IsNaN(fl.flow.Gbps) {
+		return fmt.Errorf("flow needs at least ingress, dst, and gbps")
+	}
+	p.flows = append(p.flows, fl)
+	return nil
+}
+
+func (p *specParser) property(f []string) error {
+	if len(f) < 2 {
+		return fmt.Errorf("usage: property (link A-B | dirlink A->B) [min G] [max G]")
+	}
+	pr := pendingProp{min: 0, max: math.Inf(1)}
+	switch f[0] {
+	case "link":
+		parts := strings.SplitN(f[1], "-", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad link %q, want A-B", f[1])
+		}
+		pr.a, pr.b = parts[0], parts[1]
+	case "dirlink":
+		parts := strings.SplitN(f[1], "->", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad dirlink %q, want A->B", f[1])
+		}
+		pr.a, pr.b = parts[0], parts[1]
+		pr.directed = true
+	case "delivered":
+		pfx, err := netip.ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		pr.delivered = pfx.Masked()
+	default:
+		return fmt.Errorf("property wants 'link', 'dirlink', or 'delivered'")
+	}
+	rest := f[2:]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return fmt.Errorf("property option %q wants a value", rest[0])
+		}
+		v, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad bound %q", rest[1])
+		}
+		switch rest[0] {
+		case "min":
+			pr.min = v
+		case "max":
+			pr.max = v
+		default:
+			return fmt.Errorf("unknown property option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	p.props = append(p.props, pr)
+	return nil
+}
+
+func (p *specParser) failures(f []string) error {
+	rest := f
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return fmt.Errorf("failures option %q wants a value", rest[0])
+		}
+		switch rest[0] {
+		case "k":
+			k, err := strconv.Atoi(rest[1])
+			if err != nil || k < 0 {
+				return fmt.Errorf("bad k %q", rest[1])
+			}
+			p.k = k
+		case "mode":
+			switch rest[1] {
+			case "links":
+				p.mode = topo.FailLinks
+			case "routers":
+				p.mode = topo.FailRouters
+			case "both":
+				p.mode = topo.FailBoth
+			default:
+				return fmt.Errorf("bad mode %q", rest[1])
+			}
+		default:
+			return fmt.Errorf("unknown failures option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	return nil
+}
+
+func (p *specParser) finish() (*Spec, error) {
+	net, err := p.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if p.autoMesh {
+		EBGPSessionsFullMesh(net, p.configs)
+	}
+	if err := p.configs.Validate(net); err != nil {
+		return nil, err
+	}
+	spec := &Spec{Net: net, Configs: p.configs, K: p.k, Mode: p.mode}
+	for _, pf := range p.flows {
+		r, ok := net.RouterByName(pf.ingress)
+		if !ok {
+			return nil, fmt.Errorf("flow %s: unknown ingress router %q", pf.flow.Name, pf.ingress)
+		}
+		fl := pf.flow
+		fl.Ingress = r.ID
+		spec.Flows = append(spec.Flows, fl)
+	}
+	for _, pp := range p.props {
+		if pp.delivered.IsValid() {
+			spec.Delivered = append(spec.Delivered, topo.DeliveredBound{
+				Prefix: pp.delivered, Min: pp.min, Max: pp.max,
+			})
+			continue
+		}
+		if pp.directed {
+			d, ok := net.FindDirLink(pp.a, pp.b)
+			if !ok {
+				return nil, fmt.Errorf("property: no link %s->%s", pp.a, pp.b)
+			}
+			spec.Props = append(spec.Props, topo.LoadBound{
+				Link: d.Link(), Dir: d.Dir(), DirSpecified: true, Min: pp.min, Max: pp.max,
+			})
+		} else {
+			l, ok := net.FindLink(pp.a, pp.b)
+			if !ok {
+				return nil, fmt.Errorf("property: no link %s-%s", pp.a, pp.b)
+			}
+			spec.Props = append(spec.Props, topo.LoadBound{Link: l.ID, Min: pp.min, Max: pp.max})
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,245 @@
+// Package core implements YU's primary contribution: symbolic traffic
+// execution (paper §4) and k-failure traffic load property verification
+// (§4.5, §5) on top of guarded RIBs from symbolic route simulation.
+//
+// The forwarding process of each flow is executed once, symbolically, over
+// all failure scenarios: every router/link state is a boolean variable and
+// the fraction of a flow's traffic on each directed link is a
+// pseudo-boolean function represented as an MTBDD (the symbolic traffic
+// fraction, STF). Every MTBDD produced along the way is kept small with
+// KREDUCE (§5.2), and per-link verification aggregates flows through
+// link-local equivalence classes (§5.3), which hash-consing turns into
+// pointer-keyed grouping.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Options tunes the engine; the zero value enables every optimization.
+type Options struct {
+	// MaxIterations bounds symbolic traffic execution (Algorithm 1's I,
+	// the TTL analogue). 0 derives a bound from the network diameter and
+	// the longest SR segment list.
+	MaxIterations int
+	// DisableLinkLocalEquiv turns off the §5.3 flow grouping when
+	// aggregating per-link traffic loads (ablation for Fig 13/14).
+	DisableLinkLocalEquiv bool
+	// DisableGlobalEquiv turns off global flow equivalence (§6): merging
+	// flows with identical (ingress, destination class, DSCP) before
+	// execution.
+	DisableGlobalEquiv bool
+	// DisableEarlyTermination turns off the §6 pruning heuristics in
+	// CheckOverloadAll (quick bounds + early stop), forcing full
+	// aggregation on every link.
+	DisableEarlyTermination bool
+	// CheckK, when > 0, applies KReduce(·, CheckK) to each aggregated
+	// STL immediately before the terminal scan. It is how the
+	// "w/o MTBDD reduction" ablation (budget -1 in FailVars) still
+	// yields verdicts restricted to at most CheckK failures.
+	CheckK int
+	// GCThreshold is the live MTBDD node count that triggers a managed
+	// garbage collection between flow executions (0 = default ~4M).
+	GCThreshold int
+}
+
+// Engine executes flows symbolically against one route-simulation result.
+// It is not safe for concurrent use (it shares the MTBDD manager).
+type Engine struct {
+	net  *topo.Network
+	rs   *routesim.Result
+	fv   *routesim.FailVars
+	m    *mtbdd.Manager
+	opts Options
+
+	classifier  *classifier
+	igpCache    map[igpKey]*igpVec
+	ipCache     map[ipKey]*step
+	srCache     map[srKey]*step
+	maxIter     int
+	gcThreshold int
+}
+
+// NewEngine creates an engine over a route simulation result.
+func NewEngine(rs *routesim.Result, opts Options) *Engine {
+	e := &Engine{
+		net:      rs.Vars.Net,
+		rs:       rs,
+		fv:       rs.Vars,
+		m:        rs.Vars.M,
+		opts:     opts,
+		igpCache: make(map[igpKey]*igpVec),
+		ipCache:  make(map[ipKey]*step),
+		srCache:  make(map[srKey]*step),
+	}
+	e.classifier = newClassifier(rs)
+	e.maxIter = opts.MaxIterations
+	if e.maxIter <= 0 {
+		longestSR := 0
+		for _, pols := range rs.SR {
+			for _, p := range pols {
+				for _, path := range p.Paths {
+					if len(path.Segments) > longestSR {
+						longestSR = len(path.Segments)
+					}
+				}
+			}
+		}
+		d := e.net.Diameter()
+		e.maxIter = (longestSR + 2) * (d + 2)
+		if e.maxIter < 16 {
+			e.maxIter = 16
+		}
+	}
+	return e
+}
+
+// Manager exposes the engine's MTBDD manager (for stats and evaluation).
+func (e *Engine) Manager() *mtbdd.Manager { return e.m }
+
+// Vars exposes the failure-variable mapping.
+func (e *Engine) Vars() *routesim.FailVars { return e.fv }
+
+// Net exposes the topology.
+func (e *Engine) Net() *topo.Network { return e.net }
+
+// classifier groups destination addresses into prefix classes: two
+// addresses in the same class match exactly the same configured prefixes
+// on every router, so they share all forwarding encodings (§4.4,
+// "pre-computed and cached (with prefix classification)").
+type classifier struct {
+	prefixes []netip.Prefix
+	classes  map[string]int
+	byAddr   map[netip.Addr]int
+	members  [][]netip.Prefix
+}
+
+func newClassifier(rs *routesim.Result) *classifier {
+	set := make(map[netip.Prefix]struct{})
+	for _, rib := range rs.BGP.RIBs {
+		for pfx := range rib {
+			set[pfx] = struct{}{}
+		}
+	}
+	for _, sts := range rs.Statics {
+		for _, st := range sts {
+			set[st.Prefix] = struct{}{}
+		}
+	}
+	c := &classifier{
+		classes: make(map[string]int),
+		byAddr:  make(map[netip.Addr]int),
+	}
+	for pfx := range set {
+		c.prefixes = append(c.prefixes, pfx)
+	}
+	sort.Slice(c.prefixes, func(i, j int) bool {
+		a, b := c.prefixes[i], c.prefixes[j]
+		if a.Bits() != b.Bits() {
+			return a.Bits() > b.Bits()
+		}
+		return a.Addr().Less(b.Addr())
+	})
+	return c
+}
+
+// classOf returns the prefix class of addr, creating it on first use.
+func (c *classifier) classOf(addr netip.Addr) int {
+	if id, ok := c.byAddr[addr]; ok {
+		return id
+	}
+	var matched []netip.Prefix
+	var sb strings.Builder
+	for _, pfx := range c.prefixes {
+		if pfx.Contains(addr) {
+			matched = append(matched, pfx)
+			fmt.Fprintf(&sb, "%s;", pfx)
+		}
+	}
+	key := sb.String()
+	id, ok := c.classes[key]
+	if !ok {
+		id = len(c.members)
+		c.classes[key] = id
+		c.members = append(c.members, matched)
+	}
+	c.byAddr[addr] = id
+	return id
+}
+
+// matchedPrefixes returns the prefixes of a class, most specific first.
+func (c *classifier) matchedPrefixes(class int) []netip.Prefix {
+	return c.members[class]
+}
+
+// stack is a label stack: the remaining SR segments, front first. The
+// empty stack means plain IP forwarding.
+type stack []topo.RouterID
+
+func (s stack) key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		fmt.Fprintf(&sb, "%d,", r)
+	}
+	return sb.String()
+}
+
+// outKey addresses one cell of the paper's matrix M: a directed link and
+// the label stack the traffic carries on it.
+type outKey struct {
+	link     topo.DirLinkID
+	stackKey string
+}
+
+// step is the cached unit-forwarding behavior of one router for one
+// (prefix class, dscp, stack) situation: where one unit of arriving
+// traffic goes. All MTBDDs are already KReduce'd.
+type step struct {
+	// out maps (link, next stack) to the traffic fraction forwarded there.
+	out map[outKey]stepOut
+	// delivered is the fraction terminating here (destination attached).
+	delivered *mtbdd.Node
+	// dropped is the fraction discarded here (null route / no route).
+	dropped *mtbdd.Node
+}
+
+type stepOut struct {
+	frac  *mtbdd.Node
+	stack stack
+}
+
+type igpKey struct {
+	router topo.RouterID
+	dest   topo.RouterID
+}
+
+// igpVec is the paper's V^IGP_nip: per outgoing link, the ratio of traffic
+// forwarded on it when resolving dest over the IGP, plus the total ratio
+// (1 where some route is selected, 0 where dest is IGP-unreachable).
+type igpVec struct {
+	perLink map[topo.DirLinkID]*mtbdd.Node
+	total   *mtbdd.Node
+}
+
+type ipKey struct {
+	router topo.RouterID
+	class  int
+	dscp   uint8
+}
+
+type srKey struct {
+	router   topo.RouterID
+	class    int
+	dscp     uint8
+	stackKey string
+}

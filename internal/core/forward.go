@@ -1,0 +1,311 @@
+package core
+
+import (
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// maxSRChain bounds recursive SR policy re-entry while building cached
+// steps (a policy whose path pops back into IP lookup on the same router).
+const maxSRChain = 4
+
+// rule is one forwarding rule of the merged longest-prefix-match RIB view
+// used by forwardIp: static routes and BGP candidates, ordered by
+// preference for the s/c encodings of §4.4.
+type rule struct {
+	guard   *mtbdd.Node
+	deliver bool
+	discard bool
+	direct  bool
+	out     topo.DirLinkID
+	// indirect resolution target (BGP next hop loopback or static via).
+	viaRouter topo.RouterID
+	// viaAddr is the literal next-hop address, used for SR policy
+	// matching (policies match on the route's next hop, Figure 1).
+	viaAddr netip.Addr
+}
+
+// forwardIp returns the cached unit-forwarding step of router r for the
+// given destination class and DSCP — the paper's Function forwardIp plus
+// the route selection, ECMP, and route iteration encodings.
+func (e *Engine) forwardIp(r topo.RouterID, class int, dscp uint8) *step {
+	key := ipKey{r, class, dscp}
+	if s, ok := e.ipCache[key]; ok {
+		return s
+	}
+	s := e.buildIPStep(r, class, dscp, 0)
+	e.ipCache[key] = s
+	return s
+}
+
+// ruleGroups builds the preference-ordered rule groups for router r and a
+// destination class: longest prefix first; within a prefix, statics (admin
+// distance 1) before BGP; within BGP, decision-process rank groups whose
+// members tie (ECMP).
+func (e *Engine) ruleGroups(r topo.RouterID, class int) [][]rule {
+	var groups [][]rule
+	for _, pfx := range e.classifier.matchedPrefixes(class) {
+		// Statics for this exact prefix.
+		var statics []rule
+		for _, st := range e.rs.Statics[r] {
+			if st.Prefix != pfx {
+				continue
+			}
+			ru := rule{guard: st.Guard, discard: st.Discard}
+			if !st.Discard {
+				if st.Indirect {
+					ru.viaRouter = st.ViaRouter
+					ru.viaAddr = e.net.Router(st.ViaRouter).Loopback
+				} else {
+					ru.direct = true
+					ru.out = st.Out
+				}
+			}
+			statics = append(statics, ru)
+		}
+		if len(statics) > 0 {
+			groups = append(groups, statics)
+		}
+		// BGP candidates, already preference-sorted by routesim.
+		cands := e.rs.BGP.RIBs[r][pfx]
+		i := 0
+		for i < len(cands) {
+			j := i
+			var grp []rule
+			for j < len(cands) && candSameRank(cands[i], cands[j]) {
+				c := cands[j]
+				j++
+				if c.AdvertiseOnly {
+					continue
+				}
+				ru := rule{guard: c.Guard, deliver: c.Deliver, discard: c.Discard}
+				if !c.Deliver && !c.Discard {
+					if c.Direct {
+						ru.direct = true
+						ru.out = c.OutEdge
+					} else {
+						ru.viaRouter = c.NextHopRouter
+						ru.viaAddr = c.NextHop
+					}
+				}
+				grp = append(grp, ru)
+			}
+			if len(grp) > 0 {
+				groups = append(groups, grp)
+			}
+			i = j
+		}
+	}
+	return groups
+}
+
+func candSameRank(a, b *routesim.BGPCand) bool { return a.SameRank(b) }
+
+// buildIPStep computes the unit step for IP forwarding. depth guards SR
+// policy chains.
+func (e *Engine) buildIPStep(r topo.RouterID, class int, dscp uint8, depth int) *step {
+	m, fv := e.m, e.fv
+	st := &step{out: make(map[outKey]stepOut), delivered: m.Zero(), dropped: m.Zero()}
+	groups := e.ruleGroups(r, class)
+	if len(groups) == 0 {
+		// No route: everything arriving here is dropped.
+		st.dropped = m.One()
+		return st
+	}
+	// Route selection encoding s_r (present and all strictly more
+	// preferred absent) and ECMP encoding c_r = s_r / Σ s.
+	type selRule struct {
+		rule
+		sel *mtbdd.Node
+	}
+	var rules []selRule
+	better := m.Zero()
+	total := m.Zero()
+	for _, grp := range groups {
+		groupOr := m.Zero()
+		for _, ru := range grp {
+			sel := fv.Reduce(m.And(ru.guard, m.Not(better)))
+			rules = append(rules, selRule{ru, sel})
+			total = m.Add(total, sel)
+			groupOr = m.Or(groupOr, ru.guard)
+		}
+		better = fv.Reduce(m.Or(better, groupOr))
+	}
+	total = fv.Reduce(total)
+	// Traffic with no selected rule at all is dropped (no route).
+	st.dropped = m.Add(st.dropped, fv.Reduce(m.Not(fv.Reduce(m.Min(total, m.One())))))
+
+	for _, ru := range rules {
+		if ru.sel == m.Zero() {
+			continue
+		}
+		c := fv.Reduce(m.Div(ru.sel, total))
+		switch {
+		case ru.deliver:
+			st.delivered = fv.Reduce(m.Add(st.delivered, c))
+		case ru.discard:
+			st.dropped = fv.Reduce(m.Add(st.dropped, c))
+		case ru.direct:
+			e.addOut(st, ru.out, nil, c)
+		default:
+			e.resolveNhIP(st, r, class, dscp, ru.rule, c, depth)
+		}
+	}
+	return st
+}
+
+// resolveNhIP implements Function resolveNhIp: SR policy match first, then
+// IGP route iteration (paper §4.4).
+func (e *Engine) resolveNhIP(st *step, r topo.RouterID, class int, dscp uint8, ru rule, c *mtbdd.Node, depth int) {
+	m, fv := e.m, e.fv
+	if pol := e.matchSRPolicy(r, ru.viaAddr, dscp); pol != nil && depth < maxSRChain {
+		// Weighted SR paths: c_p = g_p * w_p / Σ g_p' * w_p'.
+		denom := m.Zero()
+		for _, p := range pol.Paths {
+			denom = m.Add(denom, m.Scale(float64(p.Weight), p.Guard))
+		}
+		denom = fv.Reduce(denom)
+		served := m.Zero()
+		for _, p := range pol.Paths {
+			cp := fv.Reduce(m.Div(m.Scale(float64(p.Weight), p.Guard), denom))
+			if cp == m.Zero() {
+				continue
+			}
+			served = fv.Reduce(m.Add(served, cp))
+			e.emitSR(st, r, class, dscp, stack(p.Segments), fv.Reduce(m.Mul(c, cp)), depth+1)
+		}
+		// Scenarios where no SR path is valid: the policy holds the
+		// traffic and it is dropped (strict steering).
+		rem := fv.Reduce(m.Mul(c, m.Sub(m.One(), served)))
+		st.dropped = fv.Reduce(m.Add(st.dropped, rem))
+		return
+	}
+	// Plain IGP route iteration.
+	vec := e.igpVec(r, ru.viaRouter)
+	for l, frac := range vec.perLink {
+		e.addOut(st, l, nil, fv.Reduce(m.Mul(c, frac)))
+	}
+	st.dropped = fv.Reduce(m.Add(st.dropped, fv.Reduce(m.Mul(c, m.Sub(m.One(), vec.total)))))
+}
+
+// emitSR routes traffic carrying label stack s out of router r: pop any
+// leading self-segments, then steer toward the first segment over the IGP
+// (Function forwardSr).
+func (e *Engine) emitSR(st *step, r topo.RouterID, class int, dscp uint8, s stack, w *mtbdd.Node, depth int) {
+	m, fv := e.m, e.fv
+	for len(s) > 0 && s[0] == r {
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		// Stack exhausted at this router: continue as IP traffic here.
+		sub := e.buildIPStep(r, class, dscp, depth)
+		st.delivered = fv.Reduce(m.Add(st.delivered, m.Mul(w, sub.delivered)))
+		st.dropped = fv.Reduce(m.Add(st.dropped, m.Mul(w, sub.dropped)))
+		for k, o := range sub.out {
+			e.addOut(st, k.link, o.stack, fv.Reduce(m.Mul(w, o.frac)))
+		}
+		return
+	}
+	vec := e.igpVec(r, s[0])
+	for l, frac := range vec.perLink {
+		e.addOut(st, l, s, fv.Reduce(m.Mul(w, frac)))
+	}
+	st.dropped = fv.Reduce(m.Add(st.dropped, fv.Reduce(m.Mul(w, m.Sub(m.One(), vec.total)))))
+}
+
+// forwardSr is the cached step for traffic arriving at r with a non-empty
+// label stack.
+func (e *Engine) forwardSr(r topo.RouterID, class int, dscp uint8, s stack) *step {
+	key := srKey{r, class, dscp, s.key()}
+	if st, ok := e.srCache[key]; ok {
+		return st
+	}
+	m := e.m
+	st := &step{out: make(map[outKey]stepOut), delivered: m.Zero(), dropped: m.Zero()}
+	e.emitSR(st, r, class, dscp, s, m.One(), 0)
+	e.srCache[key] = st
+	return st
+}
+
+func (e *Engine) addOut(st *step, l topo.DirLinkID, s stack, frac *mtbdd.Node) {
+	if frac == e.m.Zero() {
+		return
+	}
+	k := outKey{l, s.key()}
+	if prev, ok := st.out[k]; ok {
+		st.out[k] = stepOut{frac: e.fv.Reduce(e.m.Add(prev.frac, frac)), stack: s}
+	} else {
+		st.out[k] = stepOut{frac: frac, stack: s}
+	}
+}
+
+// matchSRPolicy returns the first SR policy of r matching the next-hop
+// address and DSCP, if any.
+func (e *Engine) matchSRPolicy(r topo.RouterID, nip netip.Addr, dscp uint8) *routesim.GuardedSRPolicy {
+	for i := range e.rs.SR[r] {
+		if e.rs.SR[r][i].Matches(nip, dscp) {
+			return &e.rs.SR[r][i]
+		}
+	}
+	return nil
+}
+
+// igpVec returns the cached V^IGP_dest vector at router r: per outgoing
+// link, the ratio of traffic resolved onto it, built from the guarded
+// IS-IS RIB with the s/c encodings (paper Figure 7).
+func (e *Engine) igpVec(r, dest topo.RouterID) *igpVec {
+	key := igpKey{r, dest}
+	if v, ok := e.igpCache[key]; ok {
+		return v
+	}
+	m, fv := e.m, e.fv
+	v := &igpVec{perLink: make(map[topo.DirLinkID]*mtbdd.Node), total: m.Zero()}
+	if r == dest {
+		// Traffic destined to the local router resolves nowhere; treat
+		// the total as fully served so nothing is dropped spuriously.
+		v.total = m.One()
+		e.igpCache[key] = v
+		return v
+	}
+	routes := e.rs.IGP.Routes(r, dest)
+	if len(routes) > 0 {
+		sels := make([]*mtbdd.Node, len(routes))
+		better := m.Zero()
+		total := m.Zero()
+		i := 0
+		for i < len(routes) {
+			j := i
+			groupOr := m.Zero()
+			for j < len(routes) && routes[j].Cost == routes[i].Cost {
+				sel := fv.Reduce(m.And(routes[j].Guard, m.Not(better)))
+				sels[j] = sel
+				total = m.Add(total, sel)
+				groupOr = m.Or(groupOr, routes[j].Guard)
+				j++
+			}
+			better = fv.Reduce(m.Or(better, groupOr))
+			i = j
+		}
+		total = fv.Reduce(total)
+		for idx, rt := range routes {
+			if sels[idx] == m.Zero() {
+				continue
+			}
+			c := fv.Reduce(m.Div(sels[idx], total))
+			if c == m.Zero() {
+				continue
+			}
+			if prev, ok := v.perLink[rt.Out]; ok {
+				v.perLink[rt.Out] = fv.Reduce(m.Add(prev, c))
+			} else {
+				v.perLink[rt.Out] = c
+			}
+		}
+		v.total = fv.Reduce(m.Min(total, m.One()))
+	}
+	e.igpCache[key] = v
+	return v
+}

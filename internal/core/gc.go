@@ -1,0 +1,88 @@
+package core
+
+import "github.com/yu-verify/yu/internal/mtbdd"
+
+// defaultGCThreshold is the live-node count that triggers a managed GC
+// (roughly half a GiB of nodes plus table overhead).
+const defaultGCThreshold = 4 << 20
+
+// roots gathers every MTBDD node the engine must keep across a garbage
+// collection: all guards in the route simulation result and the contents
+// of the forwarding-encoding caches. extra carries the caller's live
+// nodes (accumulated STFs, partial sums).
+func (e *Engine) roots(extra []*mtbdd.Node) []*mtbdd.Node {
+	out := extra
+	rs := e.rs
+	for r := 0; r < e.net.NumRouters(); r++ {
+		for _, rib := range rs.BGP.RIBs[r] {
+			for _, c := range rib {
+				out = append(out, c.Guard)
+			}
+		}
+		for _, p := range rs.SR[r] {
+			for _, path := range p.Paths {
+				out = append(out, path.Guard)
+			}
+		}
+		for _, st := range rs.Statics[r] {
+			out = append(out, st.Guard)
+		}
+	}
+	out = append(out, rs.IGP.GuardNodes()...)
+	for _, v := range e.igpCache {
+		for _, f := range v.perLink {
+			out = append(out, f)
+		}
+		out = append(out, v.total)
+	}
+	for _, st := range e.ipCache {
+		out = stepRoots(out, st)
+	}
+	for _, st := range e.srCache {
+		out = stepRoots(out, st)
+	}
+	return out
+}
+
+func stepRoots(out []*mtbdd.Node, st *step) []*mtbdd.Node {
+	out = append(out, st.delivered, st.dropped)
+	for _, o := range st.out {
+		out = append(out, o.frac)
+	}
+	return out
+}
+
+// stfRoots collects the live nodes of executed flows.
+func stfRoots(out []*mtbdd.Node, stfs []*FlowSTF) []*mtbdd.Node {
+	for _, s := range stfs {
+		if s == nil {
+			continue
+		}
+		for _, w := range s.Links {
+			out = append(out, w)
+		}
+		out = append(out, s.Delivered, s.Dropped, s.InFlight)
+	}
+	return out
+}
+
+// maybeGC runs a managed garbage collection when the live node count
+// exceeds the threshold, keeping the engine caches and the given flow
+// results alive. If most nodes survive a collection, the threshold is
+// doubled to avoid thrashing (collecting over and over with little to
+// reclaim while losing the operation caches each time).
+func (e *Engine) maybeGC(stfs []*FlowSTF, extra []*mtbdd.Node) {
+	if e.gcThreshold <= 0 {
+		e.gcThreshold = e.opts.GCThreshold
+		if e.gcThreshold <= 0 {
+			e.gcThreshold = defaultGCThreshold
+		}
+	}
+	if e.m.Stats().Live < e.gcThreshold {
+		return
+	}
+	e.m.GC(e.roots(stfRoots(extra, stfs)))
+	if live := e.m.Stats().Live; live*2 > e.gcThreshold {
+		e.gcThreshold = live * 4
+	}
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Violation is one TLP violation: a failure scenario (within the budget)
+// under which a bound does not hold, together with the offending value.
+type Violation struct {
+	// Kind is "link-load" or "delivered".
+	Kind string
+	// Link is the directed link for link-load violations.
+	Link topo.DirLinkID
+	// Prefix is the destination prefix for delivered violations.
+	Prefix netip.Prefix
+	// Value is the traffic load (Gbps) in the violating scenario.
+	Value float64
+	// Min and Max are the violated bounds.
+	Min, Max float64
+	// FailedLinks / FailedRouters describe the witness scenario.
+	FailedLinks   []topo.LinkID
+	FailedRouters []topo.RouterID
+}
+
+// Describe renders the violation using topology names.
+func (v *Violation) Describe(net *topo.Network) string {
+	var sb strings.Builder
+	switch v.Kind {
+	case "link-load":
+		fmt.Fprintf(&sb, "link %s carries %.6g Gbps (bounds [%.6g, %.6g])",
+			net.DirLinkName(v.Link), v.Value, v.Min, v.Max)
+	case "delivered":
+		fmt.Fprintf(&sb, "delivered traffic to %s is %.6g Gbps (bounds [%.6g, %.6g])",
+			v.Prefix, v.Value, v.Min, v.Max)
+	}
+	sb.WriteString(" when ")
+	if len(v.FailedLinks) == 0 && len(v.FailedRouters) == 0 {
+		sb.WriteString("no element fails")
+		return sb.String()
+	}
+	var parts []string
+	for _, l := range v.FailedLinks {
+		parts = append(parts, "link "+net.LinkName(l))
+	}
+	for _, r := range v.FailedRouters {
+		parts = append(parts, "router "+net.Router(r).Name)
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteString(" fail")
+	if len(parts) == 1 {
+		sb.WriteString("s")
+	}
+	return sb.String()
+}
+
+// LinkCheckStat records per-link verification effort, the data behind the
+// paper's Figures 13 and 14.
+type LinkCheckStat struct {
+	Link topo.DirLinkID
+	// Flows is the number of flows with nonzero traffic on the link.
+	Flows int
+	// Classes is the number of link-local equivalence classes among them
+	// (equals Flows when the reduction is disabled).
+	Classes int
+	// Elapsed is the time spent aggregating and checking the link.
+	Elapsed time.Duration
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	Violations []Violation
+	// Holds is true when no bound was violated in any scenario within
+	// the failure budget.
+	Holds bool
+	// LinkStats has one entry per checked directed link.
+	LinkStats []LinkCheckStat
+	// FlowsExecuted is the number of symbolic executions performed
+	// (after global equivalence merging).
+	FlowsExecuted int
+	// FlowsTotal is the number of input flows.
+	FlowsTotal int
+}
+
+// Verifier aggregates per-flow STFs into per-link symbolic traffic loads
+// and checks TLPs (paper §4.5, Theorem 5.1).
+type Verifier struct {
+	e     *Engine
+	flows []topo.Flow
+	stfs  []*FlowSTF
+	// execCount is the number of ExecuteFlow calls (post global-equiv).
+	execCount int
+}
+
+// NewVerifier executes all flows symbolically (applying global flow
+// equivalence unless disabled) and returns a Verifier ready to check
+// properties.
+func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
+	v := &Verifier{e: e, flows: flows}
+	if e.opts.DisableGlobalEquiv {
+		for _, f := range flows {
+			v.stfs = append(v.stfs, e.ExecuteFlow(f))
+			v.execCount++
+			e.maybeGC(v.stfs, nil)
+		}
+		return v
+	}
+	// Global flow equivalence (§6): flows entering at the same router
+	// with the same destination class and DSCP forward identically in
+	// every scenario; execute one representative with the summed volume.
+	type gkey struct {
+		ingress topo.RouterID
+		class   int
+		dscp    uint8
+	}
+	groups := make(map[gkey]*topo.Flow)
+	var order []gkey
+	for _, f := range flows {
+		k := gkey{f.Ingress, e.classifier.classOf(f.Dst), f.DSCP}
+		if g, ok := groups[k]; ok {
+			g.Gbps += f.Gbps
+		} else {
+			ff := f
+			groups[k] = &ff
+			order = append(order, k)
+		}
+	}
+	for _, k := range order {
+		v.stfs = append(v.stfs, e.ExecuteFlow(*groups[k]))
+		v.execCount++
+		e.maybeGC(v.stfs, nil)
+	}
+	return v
+}
+
+// FlowSTFs exposes the executed (merged) flow results.
+func (v *Verifier) FlowSTFs() []*FlowSTF { return v.stfs }
+
+// LinkLoad computes the symbolic traffic load τ_l of a directed link by
+// aggregating all flows, using link-local equivalence classes unless
+// disabled: flows whose STFs are the same MTBDD node (hash-consing makes
+// this a pointer comparison) are summed as volumes first, so the number of
+// MTBDD additions is the number of classes, not the number of flows.
+//
+// The returned node remains valid until the next Verifier method that may
+// trigger a managed GC (another LinkLoad or an overload check).
+func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
+	v.e.maybeGC(v.stfs, nil)
+	start := time.Now()
+	m, fv := v.e.m, v.e.fv
+	stat := LinkCheckStat{Link: l}
+	tau := m.Zero()
+	if v.e.opts.DisableLinkLocalEquiv {
+		for _, s := range v.stfs {
+			w, ok := s.Links[l]
+			if !ok {
+				continue
+			}
+			stat.Flows++
+			stat.Classes++
+			tau = fv.Reduce(m.Add(tau, m.Scale(s.Flow.Gbps, w)))
+		}
+	} else {
+		// Group in first-seen order: float addition is not associative,
+		// so a deterministic order keeps verdicts reproducible.
+		idx := make(map[*mtbdd.Node]int)
+		var order []*mtbdd.Node
+		vols := make([]float64, 0, 8)
+		for _, s := range v.stfs {
+			w, ok := s.Links[l]
+			if !ok {
+				continue
+			}
+			stat.Flows++
+			if i, ok := idx[w]; ok {
+				vols[i] += s.Flow.Gbps
+			} else {
+				idx[w] = len(order)
+				order = append(order, w)
+				vols = append(vols, s.Flow.Gbps)
+			}
+		}
+		stat.Classes = len(order)
+		for i, w := range order {
+			tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], w)))
+		}
+	}
+	stat.Elapsed = time.Since(start)
+	return tau, stat
+}
+
+// DeliveredLoad computes the symbolic delivered traffic for all flows
+// whose destination is inside pfx.
+func (v *Verifier) DeliveredLoad(pfx netip.Prefix) *mtbdd.Node {
+	m, fv := v.e.m, v.e.fv
+	idx := make(map[*mtbdd.Node]int)
+	var order []*mtbdd.Node
+	var vols []float64
+	for _, s := range v.stfs {
+		if !pfx.Contains(s.Flow.Dst) {
+			continue
+		}
+		if i, ok := idx[s.Delivered]; ok {
+			vols[i] += s.Flow.Gbps
+		} else {
+			idx[s.Delivered] = len(order)
+			order = append(order, s.Delivered)
+			vols = append(vols, s.Flow.Gbps)
+		}
+	}
+	tau := m.Zero()
+	for i, w := range order {
+		tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], w)))
+	}
+	return tau
+}
+
+// loadEpsilon absorbs floating-point noise from ECMP fraction arithmetic
+// when comparing loads against bounds.
+const loadEpsilon = 1e-6
+
+// checkRange looks for a counter-example terminal outside [min, max]
+// (Theorem 5.1: scanning the terminals of the KReduce'd STL suffices).
+func (v *Verifier) checkRange(tau *mtbdd.Node, min, max float64) (mtbdd.Assignment, float64, bool) {
+	if v.e.opts.CheckK > 0 {
+		tau = v.e.m.KReduce(tau, v.e.opts.CheckK)
+	}
+	lo := min - loadEpsilon
+	hi := max + loadEpsilon
+	if math.IsInf(max, 1) {
+		hi = math.Inf(1)
+	}
+	return v.e.m.WitnessOutside(tau, lo, hi)
+}
+
+func (v *Verifier) witness(a mtbdd.Assignment) (links []topo.LinkID, routers []topo.RouterID) {
+	for _, fvar := range a.FailedVars() {
+		if l, r, isLink := v.e.fv.VarElement(fvar); isLink {
+			links = append(links, l)
+		} else {
+			routers = append(routers, r)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	return links, routers
+}
+
+// ViolatingScenarios enumerates up to limit distinct failure scenarios
+// (as witness link/router sets) under which the symbolic load tau falls
+// outside [min, max]. Each returned scenario corresponds to one violating
+// MTBDD path, so it contains at most k failures (Lemma 2).
+func (v *Verifier) ViolatingScenarios(tau *mtbdd.Node, min, max float64, limit int) []Violation {
+	lo, hi := min-loadEpsilon, max+loadEpsilon
+	var out []Violation
+	v.e.m.ForEachPath(tau, func(a mtbdd.Assignment, val float64) bool {
+		if val >= lo && val <= hi {
+			return true
+		}
+		links, routers := v.witness(a)
+		out = append(out, Violation{
+			Kind: "link-load", Value: val, Min: min, Max: max,
+			FailedLinks: links, FailedRouters: routers,
+		})
+		return len(out) < limit
+	})
+	return out
+}
+
+// CheckBound verifies one explicit load bound; directed bounds check one
+// direction, undirected bounds check both directions independently.
+func (v *Verifier) CheckBound(b topo.LoadBound, rep *Report) {
+	dirs := []topo.Direction{topo.AtoB, topo.BtoA}
+	if b.DirSpecified {
+		dirs = []topo.Direction{b.Dir}
+	}
+	for _, d := range dirs {
+		l := topo.MakeDirLinkID(b.Link, d)
+		tau, stat := v.LinkLoad(l)
+		rep.LinkStats = append(rep.LinkStats, stat)
+		if a, val, bad := v.checkRange(tau, b.Min, b.Max); bad {
+			links, routers := v.witness(a)
+			rep.Violations = append(rep.Violations, Violation{
+				Kind: "link-load", Link: l, Value: val, Min: b.Min, Max: b.Max,
+				FailedLinks: links, FailedRouters: routers,
+			})
+		}
+	}
+}
+
+// CheckDelivered verifies one delivered-traffic bound.
+func (v *Verifier) CheckDelivered(b topo.DeliveredBound, rep *Report) {
+	tau := v.DeliveredLoad(b.Prefix)
+	if a, val, bad := v.checkRange(tau, b.Min, b.Max); bad {
+		links, routers := v.witness(a)
+		rep.Violations = append(rep.Violations, Violation{
+			Kind: "delivered", Prefix: b.Prefix, Value: val, Min: b.Min, Max: b.Max,
+			FailedLinks: links, FailedRouters: routers,
+		})
+	}
+}
+
+// CheckOverloadAll verifies "no directed link carries more than
+// factor × capacity" on every link of the network — the paper's daily P2
+// check. factor 1 means the raw capacity; the motivating example's
+// "overloaded at ≥95 Gbps on 100 Gbps links" is factor 0.95 (an open
+// bound approximated by a tiny epsilon below).
+//
+// Unless disabled, the check applies the §6 pruning heuristics: a link
+// whose summed per-class maxima cannot reach the limit is passed without
+// any MTBDD aggregation, and during aggregation the scan stops as soon as
+// the accumulated maximum proves a violation (loads are non-negative, so
+// partial sums only grow) or the remaining mass cannot reach the limit.
+func (v *Verifier) CheckOverloadAll(factor float64, rep *Report) {
+	net := v.e.net
+	for li := 0; li < net.NumLinks(); li++ {
+		link := net.Link(topo.LinkID(li))
+		limit := link.Capacity * factor
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			l := topo.MakeDirLinkID(link.ID, d)
+			if v.e.opts.DisableEarlyTermination {
+				tau, stat := v.LinkLoad(l)
+				rep.LinkStats = append(rep.LinkStats, stat)
+				if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
+					links, routers := v.witness(a)
+					rep.Violations = append(rep.Violations, Violation{
+						Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
+						FailedLinks: links, FailedRouters: routers,
+					})
+				}
+				continue
+			}
+			v.checkOverloadPruned(l, limit, rep)
+		}
+	}
+}
+
+// checkOverloadPruned checks one directed link against an upper limit
+// with the early-termination heuristics.
+func (v *Verifier) checkOverloadPruned(l topo.DirLinkID, limit float64, rep *Report) {
+	v.e.maybeGC(v.stfs, nil)
+	start := time.Now()
+	m, fv := v.e.m, v.e.fv
+	stat := LinkCheckStat{Link: l}
+
+	type cls struct {
+		w   *mtbdd.Node
+		vol float64
+		max float64
+	}
+	var classes []cls
+	if v.e.opts.DisableLinkLocalEquiv {
+		for _, s := range v.stfs {
+			if w, ok := s.Links[l]; ok {
+				stat.Flows++
+				_, hi := m.Range(w)
+				classes = append(classes, cls{w, s.Flow.Gbps, hi})
+			}
+		}
+		stat.Classes = len(classes)
+	} else {
+		// First-seen order for reproducible float accumulation.
+		idx := make(map[*mtbdd.Node]int)
+		for _, s := range v.stfs {
+			if w, ok := s.Links[l]; ok {
+				stat.Flows++
+				if i, ok := idx[w]; ok {
+					classes[i].vol += s.Flow.Gbps
+				} else {
+					idx[w] = len(classes)
+					classes = append(classes, cls{w: w, vol: s.Flow.Gbps})
+				}
+			}
+		}
+		for i := range classes {
+			_, hi := m.Range(classes[i].w)
+			classes[i].max = hi
+		}
+		stat.Classes = len(classes)
+	}
+
+	// violThreshold mirrors checkRange's epsilon handling: values
+	// strictly above it are violations.
+	violThreshold := limit - loadEpsilon
+
+	// Quick bound: if even the per-class maxima cannot reach the limit,
+	// the property holds on this link with no aggregation at all.
+	total := 0.0
+	for _, c := range classes {
+		total += c.vol * c.max
+	}
+	if total <= violThreshold {
+		stat.Elapsed = time.Since(start)
+		rep.LinkStats = append(rep.LinkStats, stat)
+		return
+	}
+
+	// Aggregate classes in descending contribution order (stable for
+	// reproducibility), stopping as soon as either verdict is certain.
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].vol*classes[i].max > classes[j].vol*classes[j].max })
+	remaining := total
+	tau := m.Zero()
+	for _, c := range classes {
+		tau = fv.Reduce(m.Add(tau, m.Scale(c.vol, c.w)))
+		remaining -= c.vol * c.max
+		_, hi := m.Range(tau)
+		if hi > violThreshold {
+			// Loads are non-negative: the partial maximum already
+			// violates, and adding more classes only increases it.
+			break
+		}
+		if hi+remaining <= violThreshold {
+			// Even if every remaining class peaked simultaneously the
+			// limit is unreachable.
+			stat.Elapsed = time.Since(start)
+			rep.LinkStats = append(rep.LinkStats, stat)
+			return
+		}
+	}
+	stat.Elapsed = time.Since(start)
+	rep.LinkStats = append(rep.LinkStats, stat)
+	if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
+		links, routers := v.witness(a)
+		// tau may be a partial sum (early break): recompute the exact
+		// load at the witness by evaluating every class there.
+		assign := v.e.fv.Scenario(links, routers)
+		exact := 0.0
+		for _, c := range classes {
+			exact += c.vol * m.Eval(c.w, assign)
+		}
+		if exact > val {
+			val = exact
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
+			FailedLinks: links, FailedRouters: routers,
+		})
+	}
+}
+
+// Run checks the given explicit bounds (either slice may be empty) and, if
+// overloadFactor > 0, the all-links overload property.
+func (v *Verifier) Run(bounds []topo.LoadBound, delivered []topo.DeliveredBound, overloadFactor float64) *Report {
+	rep := &Report{FlowsExecuted: v.execCount, FlowsTotal: len(v.flows)}
+	for _, b := range bounds {
+		v.CheckBound(b, rep)
+	}
+	for _, b := range delivered {
+		v.CheckDelivered(b, rep)
+	}
+	if overloadFactor > 0 {
+		v.CheckOverloadAll(overloadFactor, rep)
+	}
+	rep.Holds = len(rep.Violations) == 0
+	return rep
+}

@@ -1,0 +1,131 @@
+// Package flowgen generates input flow workloads: the pairwise edge flows
+// of the FatTree experiments (§7.2, Table 4, Fig 15) and skewed random
+// flow sets standing in for the production traffic of §7.1 (Figs 11-14).
+package flowgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Pairwise builds flows between every ordered pair of FatTree edge
+// routers with the given volume (paper: 5 Gbps), then truncates to
+// fraction (e.g. 0.16 for the "16%" columns of Table 4). A deterministic
+// permutation with the given seed selects which pairs survive.
+func Pairwise(spec *config.Spec, volumeGbps, fraction float64, seed int64) ([]topo.Flow, error) {
+	edges := gen.EdgeRouters(spec)
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("flowgen: not a FatTree spec (no edge routers)")
+	}
+	type pairT struct{ src, dst string }
+	var pairs []pairT
+	for _, a := range edges {
+		for _, b := range edges {
+			if a != b {
+				pairs = append(pairs, pairT{a, b})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	n := int(float64(len(pairs))*fraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	var flows []topo.Flow
+	for i := 0; i < n; i++ {
+		p := pairs[i]
+		src, ok := spec.Net.RouterByName(p.src)
+		if !ok {
+			return nil, fmt.Errorf("flowgen: router %s missing", p.src)
+		}
+		pfx, ok := gen.EdgePrefix(spec, p.dst)
+		if !ok {
+			return nil, fmt.Errorf("flowgen: %s originates nothing", p.dst)
+		}
+		flows = append(flows, topo.Flow{
+			Name:    fmt.Sprintf("pw-%s-%s", p.src, p.dst),
+			Ingress: src.ID,
+			Src:     netip.AddrFrom4([4]byte{172, 31, byte(i >> 8), byte(i)}),
+			Dst:     pfx.Addr().Next(),
+			Gbps:    volumeGbps,
+		})
+	}
+	return flows, nil
+}
+
+// RandomSpec configures random workload generation.
+type RandomSpec struct {
+	// Count is the number of flows.
+	Count int
+	// DistinctDstPerPrefix bounds how many distinct destination
+	// addresses are drawn inside each prefix; small values create the
+	// heavy flow-equivalence the paper's production traffic exhibits
+	// (many flows sharing ingress and destination behavior).
+	DistinctDstPerPrefix int
+	// DSCP5Fraction of flows get DSCP 5 (SR-steered class).
+	DSCP5Fraction float64
+	// MeanGbps scales volumes (exponential-ish distribution).
+	MeanGbps float64
+	Seed     int64
+}
+
+// Random draws a skewed random workload against the spec's originated
+// prefixes.
+func Random(spec *config.Spec, rs RandomSpec) ([]topo.Flow, error) {
+	prefixes := gen.Prefixes(spec)
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("flowgen: spec originates no prefixes")
+	}
+	if rs.DistinctDstPerPrefix <= 0 {
+		rs.DistinctDstPerPrefix = 4
+	}
+	if rs.MeanGbps <= 0 {
+		rs.MeanGbps = 1
+	}
+	rng := rand.New(rand.NewSource(rs.Seed))
+	n := spec.Net.NumRouters()
+	flows := make([]topo.Flow, 0, rs.Count)
+	for i := 0; i < rs.Count; i++ {
+		// Zipf-ish ingress skew: favor low router IDs.
+		ing := topo.RouterID(int(float64(n) * rng.Float64() * rng.Float64()))
+		if int(ing) >= n {
+			ing = topo.RouterID(n - 1)
+		}
+		pfx := prefixes[rng.Intn(len(prefixes))]
+		host := 1 + rng.Intn(rs.DistinctDstPerPrefix)
+		dst := addrPlus(pfx.Addr(), host)
+		var dscp uint8
+		if rng.Float64() < rs.DSCP5Fraction {
+			dscp = 5
+		}
+		vol := rs.MeanGbps * rng.ExpFloat64()
+		if vol < 0.001 {
+			vol = 0.001
+		}
+		flows = append(flows, topo.Flow{
+			Name:    fmt.Sprintf("rf%d", i),
+			Ingress: ing,
+			Src:     netip.AddrFrom4([4]byte{172, 30, byte(i >> 8), byte(i)}),
+			Dst:     dst,
+			DSCP:    dscp,
+			Gbps:    vol,
+		})
+	}
+	return flows, nil
+}
+
+func addrPlus(a netip.Addr, n int) netip.Addr {
+	for i := 0; i < n; i++ {
+		a = a.Next()
+	}
+	return a
+}

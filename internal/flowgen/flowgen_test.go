@@ -1,0 +1,134 @@
+package flowgen
+
+import (
+	"testing"
+
+	"github.com/yu-verify/yu/internal/gen"
+)
+
+func TestPairwise(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := gen.EdgeRouters(spec)
+	total := len(edges) * (len(edges) - 1)
+
+	full, err := Pairwise(spec, 5, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != total {
+		t.Fatalf("full pairwise = %d flows, want %d", len(full), total)
+	}
+	frac, err := Pairwise(spec, 5, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := total / 4; len(frac) != want {
+		t.Errorf("25%% pairwise = %d flows, want %d", len(frac), want)
+	}
+	for _, f := range frac {
+		if f.Gbps != 5 {
+			t.Fatalf("flow volume = %v", f.Gbps)
+		}
+		if !f.Dst.IsValid() || !f.Src.IsValid() {
+			t.Fatalf("invalid addresses in %v", f)
+		}
+	}
+	// Determinism.
+	again, err := Pairwise(spec, 5, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frac {
+		if frac[i] != again[i] {
+			t.Fatal("pairwise generation must be deterministic")
+		}
+	}
+	// Different seed selects different pairs.
+	other, _ := Pairwise(spec, 5, 0.25, 2)
+	same := 0
+	for i := range frac {
+		if frac[i].Name == other[i].Name {
+			same++
+		}
+	}
+	if same == len(frac) {
+		t.Error("different seeds should select different pairs")
+	}
+	// Tiny fractions still yield at least one flow.
+	one, err := Pairwise(spec, 5, 1e-9, 1)
+	if err != nil || len(one) != 1 {
+		t.Errorf("tiny fraction: %d flows, err=%v", len(one), err)
+	}
+}
+
+func TestPairwiseRejectsNonFatTree(t *testing.T) {
+	wan, err := gen.WAN(gen.WANSpec{Routers: 20, Links: 40, Prefixes: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pairwise(wan, 5, 0.5, 1); err == nil {
+		t.Error("expected error on non-FatTree spec")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	wan, err := gen.WAN(gen.WANSpec{Routers: 30, Links: 60, Prefixes: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := Random(wan, RandomSpec{Count: 500, DSCP5Fraction: 0.5, DistinctDstPerPrefix: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 500 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	prefixes := gen.Prefixes(wan)
+	dscp5 := 0
+	dsts := make(map[string]bool)
+	for _, f := range flows {
+		if f.Gbps <= 0 {
+			t.Fatal("non-positive volume")
+		}
+		if int(f.Ingress) < 0 || int(f.Ingress) >= wan.Net.NumRouters() {
+			t.Fatal("ingress out of range")
+		}
+		matched := false
+		for _, p := range prefixes {
+			if p.Contains(f.Dst) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Fatalf("dst %s matches no originated prefix", f.Dst)
+		}
+		if f.DSCP == 5 {
+			dscp5++
+		}
+		dsts[f.Dst.String()] = true
+	}
+	if dscp5 == 0 || dscp5 == len(flows) {
+		t.Errorf("dscp5 fraction degenerate: %d/%d", dscp5, len(flows))
+	}
+	// DistinctDstPerPrefix=2 bounds the address diversity to 2 per prefix.
+	if len(dsts) > 2*len(prefixes) {
+		t.Errorf("dst diversity %d exceeds bound %d", len(dsts), 2*len(prefixes))
+	}
+}
+
+func TestRandomNoPrefixes(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FatTree has prefixes; strip them to trigger the error path.
+	for _, rc := range spec.Configs {
+		rc.Networks = nil
+	}
+	if _, err := Random(spec, RandomSpec{Count: 5, Seed: 1}); err == nil {
+		t.Error("expected error with no originated prefixes")
+	}
+}

@@ -1,0 +1,114 @@
+// Package gen generates synthetic topologies: FatTree fabrics (FT-m,
+// paper §7.2) and WAN-like multi-AS networks standing in for the paper's
+// proprietary production networks N0/N1/N2/WAN (Table 3) — see DESIGN.md's
+// substitution notes.
+package gen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// FatTreeSpec describes an FT-m network.
+type FatTreeSpec struct {
+	// Pods is m: the number of pods (must be even, >= 2).
+	Pods int
+	// CoreCapacity is the aggregation-core link bandwidth in Gbps
+	// (paper: 100).
+	CoreCapacity float64
+	// EdgeCapacity is the aggregation-edge link bandwidth in Gbps
+	// (paper: 40).
+	EdgeCapacity float64
+}
+
+// FatTree builds the FT-m topology of §7.2: (m/2)^2 core routers and m
+// pods of m/2 aggregation + m/2 edge routers, every router in its own AS
+// running eBGP (auto-meshed), each edge router originating one /24.
+func FatTree(spec FatTreeSpec) (*config.Spec, error) {
+	m := spec.Pods
+	if m < 2 || m%2 != 0 {
+		return nil, fmt.Errorf("gen: FatTree pods must be even and >= 2, got %d", m)
+	}
+	if spec.CoreCapacity == 0 {
+		spec.CoreCapacity = 100
+	}
+	if spec.EdgeCapacity == 0 {
+		spec.EdgeCapacity = 40
+	}
+	half := m / 2
+	b := topo.NewBuilder()
+	cfgs := make(config.Configs)
+
+	asn := uint32(65000)
+	nextAS := func() uint32 { asn++; return asn }
+
+	coreName := func(i, j int) string { return fmt.Sprintf("core-%d-%d", i, j) }
+	aggName := func(p, j int) string { return fmt.Sprintf("agg-%d-%d", p, j) }
+	edgeName := func(p, j int) string { return fmt.Sprintf("edge-%d-%d", p, j) }
+
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			b.AddRouter(coreName(i, j), nextAS())
+		}
+	}
+	var edges []string
+	for p := 0; p < m; p++ {
+		for j := 0; j < half; j++ {
+			b.AddRouter(aggName(p, j), nextAS())
+		}
+		for j := 0; j < half; j++ {
+			name := edgeName(p, j)
+			b.AddRouter(name, nextAS())
+			edges = append(edges, name)
+			// Each edge router originates one /24.
+			pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(p), byte(j), 0}), 24)
+			cfgs.Get(name).Networks = append(cfgs.Get(name).Networks, pfx)
+		}
+	}
+	for p := 0; p < m; p++ {
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				b.AddLink(aggName(p, a), edgeName(p, e),
+					topo.WithCost(10), topo.WithCapacity(spec.EdgeCapacity))
+			}
+			// Aggregation router a connects to core row a.
+			for c := 0; c < half; c++ {
+				b.AddLink(aggName(p, a), coreName(a, c),
+					topo.WithCost(10), topo.WithCapacity(spec.CoreCapacity))
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	config.EBGPSessionsFullMesh(net, cfgs)
+	if err := cfgs.Validate(net); err != nil {
+		return nil, err
+	}
+	return &config.Spec{Net: net, Configs: cfgs, K: 2, Mode: topo.FailLinks}, nil
+}
+
+// EdgeRouters returns the edge router names of an FT spec in generation
+// order, for pairwise flow construction.
+func EdgeRouters(spec *config.Spec) []string {
+	var out []string
+	for _, r := range spec.Net.Routers {
+		if len(r.Name) >= 4 && r.Name[:4] == "edge" {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// EdgePrefix returns the /24 originated by the named edge router.
+func EdgePrefix(spec *config.Spec, name string) (netip.Prefix, bool) {
+	rc, ok := spec.Configs[name]
+	if !ok || len(rc.Networks) == 0 {
+		return netip.Prefix{}, false
+	}
+	return rc.Networks[0], true
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	for _, m := range []int{4, 8} {
+		spec, err := FatTree(FatTreeSpec{Pods: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := m / 2
+		wantRouters := half*half + m*(half+half)
+		if got := spec.Net.NumRouters(); got != wantRouters {
+			t.Errorf("FT-%d routers = %d, want %d", m, got, wantRouters)
+		}
+		wantLinks := m*half*half + m*half*half
+		if got := spec.Net.NumLinks(); got != wantLinks {
+			t.Errorf("FT-%d links = %d, want %d", m, got, wantLinks)
+		}
+		if got := len(EdgeRouters(spec)); got != m*half {
+			t.Errorf("FT-%d edge routers = %d, want %d", m, got, m*half)
+		}
+		// Every router is in its own AS (pure eBGP fabric).
+		if got := len(spec.Net.ASes()); got != wantRouters {
+			t.Errorf("FT-%d ASes = %d, want %d", m, got, wantRouters)
+		}
+		// Capacities.
+		for i := range spec.Net.Links {
+			l := spec.Net.Link(topo.LinkID(i))
+			an := spec.Net.Router(l.A).Name
+			bn := spec.Net.Router(l.B).Name
+			isCore := an[:4] == "core" || bn[:4] == "core"
+			if isCore && l.Capacity != 100 {
+				t.Fatalf("core link capacity = %v", l.Capacity)
+			}
+			if !isCore && l.Capacity != 40 {
+				t.Fatalf("edge link capacity = %v", l.Capacity)
+			}
+		}
+		// Edge prefixes exist.
+		for _, e := range EdgeRouters(spec) {
+			if _, ok := EdgePrefix(spec, e); !ok {
+				t.Fatalf("edge %s has no prefix", e)
+			}
+		}
+	}
+}
+
+func TestFatTreeRejectsOddPods(t *testing.T) {
+	if _, err := FatTree(FatTreeSpec{Pods: 3}); err == nil {
+		t.Error("odd pod count must fail")
+	}
+}
+
+func TestWANShape(t *testing.T) {
+	ws := WANSpec{Routers: 100, Links: 200, Prefixes: 30, SRPolicyFraction: 0.2, Seed: 42}
+	spec, err := WAN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Net.NumRouters(); got != 100 {
+		t.Errorf("routers = %d", got)
+	}
+	if got := spec.Net.NumLinks(); got < 190 || got > 210 {
+		t.Errorf("links = %d, want ~200", got)
+	}
+	if got := len(Prefixes(spec)); got != 30 {
+		t.Errorf("prefixes = %d", got)
+	}
+	if got := len(spec.Net.ASes()); got < 2 {
+		t.Errorf("ASes = %d", got)
+	}
+	// Connectivity: diameter must be finite and every router reachable
+	// (Diameter ignores disconnected pairs, so check adjacency).
+	for i := range spec.Net.Routers {
+		if len(spec.Net.Out(topo.RouterID(i))) == 0 {
+			t.Fatalf("router %d isolated", i)
+		}
+	}
+	// SR policies exist.
+	nPol := 0
+	for _, rc := range spec.Configs {
+		nPol += len(rc.SRPolicies)
+	}
+	if nPol == 0 {
+		t.Error("expected SR policies")
+	}
+	// Determinism.
+	spec2, err := WAN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.Net.NumLinks() != spec.Net.NumLinks() {
+		t.Error("generation must be deterministic")
+	}
+}
+
+func TestTable3Specs(t *testing.T) {
+	specs := Table3()
+	for _, name := range []string{"N0", "N1", "N2", "WAN"} {
+		if _, ok := specs[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if specs["WAN"].Routers != 1000 || specs["WAN"].Links != 4000 {
+		t.Errorf("WAN spec = %+v", specs["WAN"])
+	}
+}

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// WANSpec describes a synthetic WAN-like network: multiple data-center
+// ASes (iBGP over IS-IS internally) interconnected by a backbone of
+// inter-AS eBGP links, a fraction of routers carrying SR policies —
+// structurally the paper's production setting, at the router/link counts
+// of Table 3.
+type WANSpec struct {
+	Routers int
+	Links   int
+	// Prefixes is the number of destination prefixes originated across
+	// the network. The paper's WAN has millions; flow destinations here
+	// are drawn from this (scaled) set.
+	Prefixes int
+	// SRPolicyFraction is the fraction of routers carrying one SR
+	// policy (weighted two-path steering to a remote loopback).
+	SRPolicyFraction float64
+	// RoutersPerAS controls AS sizing (default 40).
+	RoutersPerAS int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Table3 returns the generator specs for the paper's four networks.
+func Table3() map[string]WANSpec {
+	return map[string]WANSpec{
+		"N0":  {Routers: 100, Links: 200, Prefixes: 60, SRPolicyFraction: 0.1, Seed: 10},
+		"N1":  {Routers: 200, Links: 500, Prefixes: 120, SRPolicyFraction: 0.1, Seed: 11},
+		"N2":  {Routers: 500, Links: 2500, Prefixes: 200, SRPolicyFraction: 0.1, Seed: 12},
+		"WAN": {Routers: 1000, Links: 4000, Prefixes: 300, SRPolicyFraction: 0.1, Seed: 13},
+	}
+}
+
+// WAN generates a synthetic WAN-like network.
+func WAN(ws WANSpec) (*config.Spec, error) {
+	if ws.Routers < 4 {
+		return nil, fmt.Errorf("gen: WAN needs >= 4 routers")
+	}
+	if ws.RoutersPerAS <= 0 {
+		ws.RoutersPerAS = 40
+	}
+	if ws.Prefixes <= 0 {
+		ws.Prefixes = ws.Routers / 2
+	}
+	rng := rand.New(rand.NewSource(ws.Seed))
+	nAS := ws.Routers / ws.RoutersPerAS
+	if nAS < 2 {
+		nAS = 2
+	}
+
+	b := topo.NewBuilder()
+	cfgs := make(config.Configs)
+	names := make([]string, ws.Routers)
+	asOf := make([]int, ws.Routers)
+	var perAS [][]int
+	perAS = make([][]int, nAS)
+	for i := 0; i < ws.Routers; i++ {
+		as := i % nAS
+		names[i] = fmt.Sprintf("r%d-as%d", i, as+1)
+		asOf[i] = as
+		perAS[as] = append(perAS[as], i)
+		b.AddRouter(names[i], uint32(as+1))
+	}
+
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	addLink := func(i, j int, capGbps float64) bool {
+		if i == j {
+			return false
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if seen[pair{i, j}] {
+			return false
+		}
+		seen[pair{i, j}] = true
+		cost := int64(10 * (1 + rng.Intn(5)))
+		b.AddLink(names[i], names[j], topo.WithCost(cost), topo.WithCapacity(capGbps))
+		return true
+	}
+
+	links := 0
+	// Intra-AS ring: guarantees IGP connectivity with redundancy.
+	for as := 0; as < nAS; as++ {
+		mem := perAS[as]
+		for idx := range mem {
+			if addLink(mem[idx], mem[(idx+1)%len(mem)], 400) {
+				links++
+			}
+		}
+	}
+	// Backbone ring across ASes: the first router of each AS links to
+	// the next AS's first router, guaranteeing global connectivity.
+	for as := 0; as < nAS; as++ {
+		if addLink(perAS[as][0], perAS[(as+1)%nAS][0], 400) {
+			links++
+		}
+	}
+	// Random chords (mix of intra- and inter-AS) up to the target count.
+	for attempts := 0; links < ws.Links && attempts < ws.Links*50; attempts++ {
+		i, j := rng.Intn(ws.Routers), rng.Intn(ws.Routers)
+		capGbps := 100.0
+		if rng.Intn(3) == 0 {
+			capGbps = 400
+		}
+		if addLink(i, j, capGbps) {
+			links++
+		}
+	}
+
+	net, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefix origination spread over routers.
+	for p := 0; p < ws.Prefixes; p++ {
+		owner := rng.Intn(ws.Routers)
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(p >> 8), byte(p), 0}), 24)
+		cfgs.Get(names[owner]).Networks = append(cfgs.Get(names[owner]).Networks, pfx)
+	}
+
+	config.EBGPSessionsFullMesh(net, cfgs)
+
+	// SR policies: steer DSCP-5 traffic for a remote same-AS loopback
+	// over two weighted paths through random intermediate segments.
+	nPol := int(float64(ws.Routers) * ws.SRPolicyFraction)
+	for p := 0; p < nPol; p++ {
+		riIdx := rng.Intn(ws.Routers)
+		mem := perAS[asOf[riIdx]]
+		if len(mem) < 3 {
+			continue
+		}
+		r := net.Routers[riIdx]
+		endIdx := mem[rng.Intn(len(mem))]
+		midIdx := mem[rng.Intn(len(mem))]
+		if endIdx == riIdx || midIdx == riIdx || midIdx == endIdx {
+			continue
+		}
+		end := net.Routers[endIdx]
+		mid := net.Routers[midIdx]
+		pol := config.SRPolicy{
+			Endpoint:  netip.PrefixFrom(end.Loopback, 32),
+			MatchDSCP: 5,
+			Paths: []config.SRPath{
+				{Segments: []netip.Addr{end.Loopback}, Weight: 75},
+				{Segments: []netip.Addr{mid.Loopback, end.Loopback}, Weight: 25},
+			},
+		}
+		cfgs.Get(r.Name).SRPolicies = append(cfgs.Get(r.Name).SRPolicies, pol)
+	}
+
+	if err := cfgs.Validate(net); err != nil {
+		return nil, err
+	}
+	return &config.Spec{Net: net, Configs: cfgs, K: 1, Mode: topo.FailLinks}, nil
+}
+
+// Prefixes lists every prefix originated anywhere in the spec.
+func Prefixes(spec *config.Spec) []netip.Prefix {
+	var out []netip.Prefix
+	for _, rc := range spec.Configs {
+		out = append(out, rc.Networks...)
+	}
+	return out
+}

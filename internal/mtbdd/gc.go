@@ -1,0 +1,58 @@
+package mtbdd
+
+// GC discards every node not reachable from the given roots: the unique
+// table is rebuilt with the surviving nodes and all operation caches are
+// cleared. Hash consing otherwise keeps every node ever created alive,
+// which exhausts memory in long pipelines (millions of transient nodes
+// arise during symbolic traffic execution).
+//
+// Contract: after GC, only the roots and nodes reachable from them may be
+// passed to further Manager operations. Any other retained *Node would
+// alias a semantically identical node created later, silently breaking the
+// canonicity that pointer-equality checks (and the paper's link-local
+// equivalence, §5.3) rely on.
+func (m *Manager) GC(roots []*Node) {
+	marked := make(map[*Node]struct{}, len(roots)*4)
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		for n != nil {
+			if _, ok := marked[n]; ok {
+				return
+			}
+			marked[n] = struct{}{}
+			if n.IsTerminal() {
+				return
+			}
+			mark(n.Lo)
+			n = n.Hi // tail-call on Hi to halve recursion depth
+		}
+	}
+	mark(m.zero)
+	mark(m.one)
+	for _, r := range roots {
+		mark(r)
+	}
+
+	fresh := newUniqueTable()
+	for _, e := range m.unique.entries {
+		if e.node == nil {
+			continue
+		}
+		if _, ok := marked[e.node]; ok {
+			fresh.insert(e.level, e.lo, e.hi, e.node)
+		}
+	}
+	m.unique = fresh
+	// Terminals are cheap; keep only the reachable ones anyway so that
+	// sweep counts reflect reality.
+	for bits, n := range m.terms {
+		if _, ok := marked[n]; !ok {
+			delete(m.terms, bits)
+		}
+	}
+	m.ClearCaches()
+	m.gcRuns++
+}
+
+// GCRuns reports how many garbage collections the manager has performed.
+func (m *Manager) GCRuns() uint64 { return m.gcRuns }

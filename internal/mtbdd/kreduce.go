@@ -1,0 +1,87 @@
+package mtbdd
+
+// KReduce implements the paper's KREDUCE operation (§5.2, Definition 5.2):
+// it returns an MTBDD that is k-failure equivalent to f — it agrees with f
+// on every assignment in which at most k variables are 0 — and in which no
+// root-to-terminal path assigns 0 to more than k variables (Lemma 2).
+//
+// The recursion, with β_k denoting KReduce(·, k) and x_i the root variable
+// of F:
+//
+//	β_0(F)  = F(1,1,...,1)                       (no failures left)
+//	β_k(c)  = c                                  (terminal)
+//	β_k(F)  = β_k(F|x_i=1)                       if β_{k-1}(F|x_i=1) == β_{k-1}(F|x_i=0)
+//	β_k(F)  = x_i·β_k(F|x_i=1) + x̄_i·β_{k-1}(F|x_i=0)   otherwise
+//
+// The third case is the novel merge: two cofactors that are merely
+// (k-1)-failure equivalent — not isomorphic — collapse, because taking the
+// Lo branch has already spent one failure. The implementation is a dynamic
+// program memoized on (node, k), so its cost is proportional to |F|·k.
+//
+// Negative k is treated as 0. KReduce is idempotent:
+// KReduce(KReduce(f,k),k) == KReduce(f,k).
+func (m *Manager) KReduce(f *Node, k int) *Node {
+	m.kreduceCalls++
+	if k < 0 {
+		k = 0
+	}
+	return m.kreduce(f, int32(k))
+}
+
+func (m *Manager) kreduce(f *Node, k int32) *Node {
+	if f.IsTerminal() {
+		return f
+	}
+	if k == 0 {
+		// β_0(F) = F(1,...,1): follow Hi edges to a terminal.
+		return m.Const(m.EvalAllAlive(f))
+	}
+	if r, ok := m.kreduceTbl.get(f.id, k); ok {
+		return r
+	}
+	hiK := m.kreduce(f.Hi, k)
+	loK1 := m.kreduce(f.Lo, k-1)
+	var r *Node
+	if m.kreduce(f.Hi, k-1) == loK1 {
+		r = hiK
+	} else {
+		r = m.mk(f.Level, loK1, hiK)
+	}
+	m.kreduceTbl.put(f.id, k, r)
+	return r
+}
+
+// MaxFailuresOnPath returns the maximum number of 0-assignments (failures)
+// encoded on any root-to-terminal path of f. For any g = KReduce(f, k)
+// this is at most k (Lemma 2). A terminal yields 0.
+func (m *Manager) MaxFailuresOnPath(f *Node) int {
+	memo := make(map[*Node]int)
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.IsTerminal() {
+			return 0
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		hi := walk(n.Hi)
+		lo := walk(n.Lo) + 1
+		v := hi
+		if lo > v {
+			v = lo
+		}
+		memo[n] = v
+		return v
+	}
+	return walk(f)
+}
+
+// KEquivalent reports whether f and g agree on every assignment with at
+// most k failed (0) variables. By Lemma 1, KReduce(f,k) == KReduce(g,k)
+// iff f ≈_k g, and hash-consing makes that a pointer comparison.
+func (m *Manager) KEquivalent(f, g *Node, k int) bool {
+	if f == g {
+		return true
+	}
+	return m.KReduce(f, k) == m.KReduce(g, k)
+}

@@ -1,0 +1,297 @@
+// Package mtbdd implements multi-terminal binary decision diagrams
+// (MTBDDs), the compact symbolic representation YU uses for guards,
+// symbolic traffic fractions (STFs), and symbolic traffic loads (STLs).
+//
+// An MTBDD is a single-source directed acyclic graph whose internal nodes
+// test boolean variables (in a fixed global order) and whose terminal
+// nodes carry real values. It represents a pseudo-boolean function
+// {0,1}^n -> R. Boolean guards are MTBDDs whose terminals are 0 and 1.
+//
+// All nodes are hash-consed by a Manager: structurally equal functions are
+// represented by the same *Node pointer, so semantic equality checks —
+// including the link-local flow-equivalence test of the paper (§5.3) —
+// are single pointer comparisons.
+//
+// The package also implements the paper's KREDUCE operation (§5.2,
+// Definition 5.2): k-failure-equivalence reduction that shrinks an MTBDD
+// while preserving its value on every assignment with at most k zeros.
+package mtbdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is a hash-consed MTBDD node. Nodes must only be created through a
+// Manager; two nodes from the same Manager represent the same function if
+// and only if they are the same pointer.
+//
+// A terminal node has Level == terminalLevel and carries Value. An internal
+// node tests the variable at its Level: Hi is the cofactor where the
+// variable is 1 (element alive), Lo where it is 0 (element failed).
+type Node struct {
+	// Level is the variable index tested by this node, or terminalLevel
+	// for terminals. Variables are tested in increasing Level order from
+	// the root.
+	Level int32
+	// Value is the terminal value; meaningful only for terminals.
+	Value float64
+	// Lo and Hi are the cofactors for variable=0 and variable=1.
+	Lo, Hi *Node
+	// id is the Manager-assigned unique identifier used in cache keys.
+	id uint64
+}
+
+const terminalLevel int32 = math.MaxInt32
+
+// IsTerminal reports whether n is a terminal (constant) node.
+func (n *Node) IsTerminal() bool { return n.Level == terminalLevel }
+
+// Manager owns the unique table, operation caches, and the variable order
+// for a family of MTBDDs. All operations combining nodes require that the
+// nodes were created by the same Manager. A Manager is not safe for
+// concurrent use; create one Manager per goroutine or synchronize
+// externally.
+type Manager struct {
+	names  []string // variable names, indexed by level
+	nextID uint64   // node ids start at 1 (0 marks empty cache slots)
+
+	unique *uniqueTable
+	terms  map[uint64]*Node // keyed by Float64bits of the value
+
+	applyTbl   *applyCache
+	negTbl     *unaryCache
+	kreduceTbl *kreduceCache
+	rangeTbl   *rangeCache
+
+	zero *Node
+	one  *Node
+
+	// stats
+	created      uint64
+	peakUnique   int
+	applyHits    uint64
+	applyMisses  uint64
+	kreduceCalls uint64
+	gcRuns       uint64
+}
+
+// New creates an empty Manager with no variables. Declare variables with
+// AddVar before building non-constant functions.
+func New() *Manager {
+	m := &Manager{
+		nextID:     1,
+		unique:     newUniqueTable(),
+		terms:      make(map[uint64]*Node),
+		applyTbl:   newApplyCache(),
+		negTbl:     newUnaryCache(),
+		kreduceTbl: newKReduceCache(),
+		rangeTbl:   newRangeCache(),
+	}
+	m.zero = m.Const(0)
+	m.one = m.Const(1)
+	return m
+}
+
+// AddVar declares a new variable at the end of the variable order and
+// returns its index. The name is used only for diagnostics and DOT output.
+func (m *Manager) AddVar(name string) int {
+	m.names = append(m.names, name)
+	return len(m.names) - 1
+}
+
+// NumVars returns the number of declared variables.
+func (m *Manager) NumVars() int { return len(m.names) }
+
+// VarName returns the diagnostic name of variable v.
+func (m *Manager) VarName(v int) string {
+	if v < 0 || v >= len(m.names) {
+		return fmt.Sprintf("x%d", v)
+	}
+	return m.names[v]
+}
+
+// Const returns the terminal node carrying value v. NaN is rejected with a
+// panic: it would break hash-consing (NaN != NaN).
+func (m *Manager) Const(v float64) *Node {
+	if math.IsNaN(v) {
+		panic("mtbdd: NaN terminal")
+	}
+	if v == 0 {
+		v = 0 // normalize -0 to +0
+	}
+	bits := math.Float64bits(v)
+	if n, ok := m.terms[bits]; ok {
+		return n
+	}
+	n := &Node{Level: terminalLevel, Value: v, id: m.nextID}
+	m.nextID++
+	m.created++
+	m.terms[bits] = n
+	return n
+}
+
+// Zero returns the 0 terminal.
+func (m *Manager) Zero() *Node { return m.zero }
+
+// One returns the 1 terminal.
+func (m *Manager) One() *Node { return m.one }
+
+// Var returns the guard MTBDD for "variable v is 1" (element alive).
+func (m *Manager) Var(v int) *Node {
+	m.checkVar(v)
+	return m.mk(int32(v), m.zero, m.one)
+}
+
+// NVar returns the guard MTBDD for "variable v is 0" (element failed).
+func (m *Manager) NVar(v int) *Node {
+	m.checkVar(v)
+	return m.mk(int32(v), m.one, m.zero)
+}
+
+func (m *Manager) checkVar(v int) {
+	if v < 0 || v >= len(m.names) {
+		panic(fmt.Sprintf("mtbdd: variable %d out of range [0,%d)", v, len(m.names)))
+	}
+}
+
+// mk returns the canonical node (level, lo, hi), applying the standard
+// reduction rule lo==hi => lo.
+func (m *Manager) mk(level int32, lo, hi *Node) *Node {
+	if lo == hi {
+		return lo
+	}
+	if n := m.unique.lookup(level, lo.id, hi.id); n != nil {
+		return n
+	}
+	n := &Node{Level: level, Lo: lo, Hi: hi, id: m.nextID}
+	m.nextID++
+	m.created++
+	m.unique.insert(level, lo.id, hi.id, n)
+	if m.unique.count > m.peakUnique {
+		m.peakUnique = m.unique.count
+	}
+	return n
+}
+
+// Eval evaluates f under the given assignment. Variables beyond the length
+// of assign, and variables not tested by f, do not affect the result.
+// assign[v] == true means variable v is 1 (alive).
+func (m *Manager) Eval(f *Node, assign []bool) float64 {
+	for !f.IsTerminal() {
+		v := int(f.Level)
+		if v < len(assign) && !assign[v] {
+			f = f.Lo
+		} else {
+			f = f.Hi
+		}
+	}
+	return f.Value
+}
+
+// EvalAllAlive evaluates f with every variable set to 1.
+func (m *Manager) EvalAllAlive(f *Node) float64 {
+	for !f.IsTerminal() {
+		f = f.Hi
+	}
+	return f.Value
+}
+
+// NodeCount returns the number of distinct nodes (including terminals)
+// reachable from f.
+func (m *Manager) NodeCount(f *Node) int {
+	seen := make(map[*Node]struct{})
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		if !n.IsTerminal() {
+			walk(n.Lo)
+			walk(n.Hi)
+		}
+	}
+	walk(f)
+	return len(seen)
+}
+
+// NodeCountMulti returns the number of distinct nodes reachable from any of
+// the given roots (shared nodes counted once).
+func (m *Manager) NodeCountMulti(roots []*Node) int {
+	seen := make(map[*Node]struct{})
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		if !n.IsTerminal() {
+			walk(n.Lo)
+			walk(n.Hi)
+		}
+	}
+	for _, r := range roots {
+		if r != nil {
+			walk(r)
+		}
+	}
+	return len(seen)
+}
+
+// Support returns the sorted set of variables tested anywhere in f.
+func (m *Manager) Support(f *Node) []int {
+	seen := make(map[*Node]struct{})
+	vars := make(map[int]struct{})
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		if n.IsTerminal() {
+			return
+		}
+		vars[int(n.Level)] = struct{}{}
+		walk(n.Lo)
+		walk(n.Hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats is a snapshot of Manager counters, used by the benchmark harness to
+// report MTBDD sizes (paper Fig 16).
+type Stats struct {
+	Created     uint64 // total nodes ever created
+	Live        int    // internal nodes currently in the unique table
+	PeakUnique  int    // high-water mark of the unique table
+	ApplyHits   uint64
+	ApplyMisses uint64
+}
+
+// Stats returns a snapshot of the Manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Created:     m.created,
+		Live:        m.unique.count,
+		PeakUnique:  m.peakUnique,
+		ApplyHits:   m.applyHits,
+		ApplyMisses: m.applyMisses,
+	}
+}
+
+// ClearCaches drops all operation caches (but not the unique table). Useful
+// between verification phases to bound memory.
+func (m *Manager) ClearCaches() {
+	m.applyTbl = newApplyCache()
+	m.negTbl = newUnaryCache()
+	m.kreduceTbl = newKReduceCache()
+	m.rangeTbl = newRangeCache()
+}

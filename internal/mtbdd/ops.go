@@ -1,0 +1,310 @@
+package mtbdd
+
+import "math"
+
+// opcode identifies a binary terminal operation for the apply cache.
+type opcode uint8
+
+const (
+	opAdd opcode = iota
+	opSub
+	opMul
+	opDiv // 0/0 and x/0 yield 0 (see Div)
+	opMin
+	opMax
+	// Boolean ops on {0,1} MTBDDs. And/Or are min/max restricted to
+	// guards; they get their own opcodes so guard-only shortcuts apply.
+	opAnd
+	opOr
+	opXor
+)
+
+func (op opcode) eval(a, b float64) float64 {
+	switch op {
+	case opAdd:
+		return a + b
+	case opSub:
+		return a - b
+	case opMul:
+		return a * b
+	case opDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case opMin:
+		return math.Min(a, b)
+	case opMax:
+		return math.Max(a, b)
+	case opAnd:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case opOr:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	case opXor:
+		if (a != 0) != (b != 0) {
+			return 1
+		}
+		return 0
+	}
+	panic("mtbdd: unknown opcode")
+}
+
+// shortcut returns a precomputed result for algebraic identities that avoid
+// recursion entirely, or nil if none applies.
+func (m *Manager) shortcut(op opcode, f, g *Node) *Node {
+	switch op {
+	case opAdd:
+		if f == m.zero {
+			return g
+		}
+		if g == m.zero {
+			return f
+		}
+	case opSub:
+		if g == m.zero {
+			return f
+		}
+	case opMul:
+		if f == m.zero || g == m.zero {
+			return m.zero
+		}
+		if f == m.one {
+			return g
+		}
+		if g == m.one {
+			return f
+		}
+	case opDiv:
+		if f == m.zero {
+			return m.zero
+		}
+		if g == m.one {
+			return f
+		}
+	case opMin, opAnd:
+		if f == g {
+			return f
+		}
+		if op == opAnd {
+			if f == m.zero || g == m.zero {
+				return m.zero
+			}
+			if f == m.one {
+				return g
+			}
+			if g == m.one {
+				return f
+			}
+		}
+	case opMax, opOr:
+		if f == g {
+			return f
+		}
+		if op == opOr {
+			if f == m.one || g == m.one {
+				return m.one
+			}
+			if f == m.zero {
+				return g
+			}
+			if g == m.zero {
+				return f
+			}
+		}
+	case opXor:
+		if f == g {
+			return m.zero
+		}
+		if f == m.zero {
+			return g
+		}
+		if g == m.zero {
+			return f
+		}
+	}
+	return nil
+}
+
+// commutes reports whether op is commutative, letting the apply cache
+// canonicalize operand order.
+func (op opcode) commutes() bool {
+	switch op {
+	case opAdd, opMul, opMin, opMax, opAnd, opOr, opXor:
+		return true
+	}
+	return false
+}
+
+// apply is Bryant's APPLY generalized to multi-terminal operations.
+func (m *Manager) apply(op opcode, f, g *Node) *Node {
+	if r := m.shortcut(op, f, g); r != nil {
+		return r
+	}
+	if f.IsTerminal() && g.IsTerminal() {
+		return m.Const(op.eval(f.Value, g.Value))
+	}
+	a, b := f, g
+	if op.commutes() && a.id > b.id {
+		a, b = b, a
+	}
+	if r, ok := m.applyTbl.get(op, a.id, b.id); ok {
+		m.applyHits++
+		return r
+	}
+	m.applyMisses++
+
+	// Descend on the smaller (earlier) level.
+	level := f.Level
+	if g.Level < level {
+		level = g.Level
+	}
+	fLo, fHi := f, f
+	if f.Level == level {
+		fLo, fHi = f.Lo, f.Hi
+	}
+	gLo, gHi := g, g
+	if g.Level == level {
+		gLo, gHi = g.Lo, g.Hi
+	}
+	r := m.mk(level, m.apply(op, fLo, gLo), m.apply(op, fHi, gHi))
+	m.applyTbl.put(op, a.id, b.id, r)
+	return r
+}
+
+// Add returns f + g.
+func (m *Manager) Add(f, g *Node) *Node { return m.apply(opAdd, f, g) }
+
+// Sub returns f - g.
+func (m *Manager) Sub(f, g *Node) *Node { return m.apply(opSub, f, g) }
+
+// Mul returns f * g (pointwise).
+func (m *Manager) Mul(f, g *Node) *Node { return m.apply(opMul, f, g) }
+
+// Div returns f / g pointwise, with the convention that any division by a
+// zero denominator yields 0. This matches the paper's ECMP encoding
+// c_r = s_r / Σ s_r': wherever the denominator (number of selected rules)
+// is 0, the numerator is 0 too, and the traffic ratio is 0.
+func (m *Manager) Div(f, g *Node) *Node { return m.apply(opDiv, f, g) }
+
+// Min returns the pointwise minimum of f and g.
+func (m *Manager) Min(f, g *Node) *Node { return m.apply(opMin, f, g) }
+
+// Max returns the pointwise maximum of f and g.
+func (m *Manager) Max(f, g *Node) *Node { return m.apply(opMax, f, g) }
+
+// And returns the conjunction of two {0,1} guards.
+func (m *Manager) And(f, g *Node) *Node { return m.apply(opAnd, f, g) }
+
+// Or returns the disjunction of two {0,1} guards.
+func (m *Manager) Or(f, g *Node) *Node { return m.apply(opOr, f, g) }
+
+// Xor returns the exclusive-or of two {0,1} guards.
+func (m *Manager) Xor(f, g *Node) *Node { return m.apply(opXor, f, g) }
+
+// Not returns the complement 1-f of a {0,1} guard.
+func (m *Manager) Not(f *Node) *Node {
+	if f == m.zero {
+		return m.one
+	}
+	if f == m.one {
+		return m.zero
+	}
+	if r, ok := m.negTbl.get(f.id); ok {
+		return r
+	}
+	var r *Node
+	if f.IsTerminal() {
+		if f.Value != 0 {
+			r = m.zero
+		} else {
+			r = m.one
+		}
+	} else {
+		r = m.mk(f.Level, m.Not(f.Lo), m.Not(f.Hi))
+	}
+	m.negTbl.put(f.id, r)
+	return r
+}
+
+// Scale returns c * f for a scalar c.
+func (m *Manager) Scale(c float64, f *Node) *Node {
+	if c == 1 {
+		return f
+	}
+	return m.Mul(m.Const(c), f)
+}
+
+// ITE returns the if-then-else composition g·f + (1-g)·h, where g is a
+// {0,1} guard.
+func (m *Manager) ITE(g, f, h *Node) *Node {
+	if g == m.one {
+		return f
+	}
+	if g == m.zero {
+		return h
+	}
+	if f == h {
+		return f
+	}
+	return m.Add(m.Mul(g, f), m.Mul(m.Not(g), h))
+}
+
+// Restrict returns the cofactor of f with variable v fixed to val.
+func (m *Manager) Restrict(f *Node, v int, val bool) *Node {
+	m.checkVar(v)
+	return m.restrict(f, int32(v), val, make(map[*Node]*Node))
+}
+
+func (m *Manager) restrict(f *Node, v int32, val bool, memo map[*Node]*Node) *Node {
+	if f.IsTerminal() || f.Level > v {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var r *Node
+	if f.Level == v {
+		if val {
+			r = f.Hi
+		} else {
+			r = f.Lo
+		}
+	} else {
+		r = m.mk(f.Level, m.restrict(f.Lo, v, val, memo), m.restrict(f.Hi, v, val, memo))
+	}
+	memo[f] = r
+	return r
+}
+
+// Sum returns the sum of all the given MTBDDs (0 for an empty slice).
+func (m *Manager) Sum(fs []*Node) *Node {
+	acc := m.zero
+	for _, f := range fs {
+		acc = m.Add(acc, f)
+	}
+	return acc
+}
+
+// OrAll returns the disjunction of all the given guards (0 for empty).
+func (m *Manager) OrAll(fs []*Node) *Node {
+	acc := m.zero
+	for _, f := range fs {
+		acc = m.Or(acc, f)
+	}
+	return acc
+}
+
+// AndAll returns the conjunction of all the given guards (1 for empty).
+func (m *Manager) AndAll(fs []*Node) *Node {
+	acc := m.one
+	for _, f := range fs {
+		acc = m.And(acc, f)
+	}
+	return acc
+}

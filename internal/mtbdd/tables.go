@@ -1,0 +1,213 @@
+package mtbdd
+
+// Hash-table machinery tuned for the hot paths. The unique table is an
+// exact open-addressing map (hash consing must never alias distinct
+// nodes); the operation caches are fixed-size direct-mapped and lossy —
+// a collision merely recomputes a result, which is deterministic and
+// re-canonicalized by the unique table, so correctness is unaffected.
+// This is the classic BDD-package design (CUDD-style computed tables):
+// Go's generic maps spend most of the runtime in hashing and GC scans.
+
+const (
+	applyCacheBits   = 20 // 1M entries
+	kreduceCacheBits = 19
+	unaryCacheBits   = 17
+)
+
+// mix64 is a splitmix64-style finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// --- unique table (exact) ---
+
+type uniqueEntry struct {
+	level  int32
+	lo, hi uint64
+	node   *Node
+}
+
+type uniqueTable struct {
+	entries []uniqueEntry
+	count   int
+	mask    uint64
+}
+
+func newUniqueTable() *uniqueTable {
+	const initial = 1 << 12
+	return &uniqueTable{entries: make([]uniqueEntry, initial), mask: initial - 1}
+}
+
+func (t *uniqueTable) hash(level int32, lo, hi uint64) uint64 {
+	return mix64(uint64(uint32(level))*0x9e3779b97f4a7c15 ^ lo<<1 ^ mix64(hi))
+}
+
+// lookup returns the canonical node for (level, lo, hi) or nil.
+func (t *uniqueTable) lookup(level int32, lo, hi uint64) *Node {
+	i := t.hash(level, lo, hi) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.node == nil {
+			return nil
+		}
+		if e.level == level && e.lo == lo && e.hi == hi {
+			return e.node
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert adds a node known to be absent.
+func (t *uniqueTable) insert(level int32, lo, hi uint64, n *Node) {
+	if t.count*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+	i := t.hash(level, lo, hi) & t.mask
+	for t.entries[i].node != nil {
+		i = (i + 1) & t.mask
+	}
+	t.entries[i] = uniqueEntry{level, lo, hi, n}
+	t.count++
+}
+
+func (t *uniqueTable) grow() {
+	old := t.entries
+	t.entries = make([]uniqueEntry, len(old)*2)
+	t.mask = uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.node == nil {
+			continue
+		}
+		i := t.hash(e.level, e.lo, e.hi) & t.mask
+		for t.entries[i].node != nil {
+			i = (i + 1) & t.mask
+		}
+		t.entries[i] = e
+	}
+}
+
+// --- apply cache (lossy, direct-mapped) ---
+
+type applyEntry struct {
+	f, g uint64 // operand ids; f == 0 marks an empty slot (ids start at 1)
+	op   opcode
+	res  *Node
+}
+
+type applyCache struct {
+	entries []applyEntry
+	mask    uint64
+}
+
+func newApplyCache() *applyCache {
+	size := 1 << applyCacheBits
+	return &applyCache{entries: make([]applyEntry, size), mask: uint64(size - 1)}
+}
+
+func (c *applyCache) slot(op opcode, f, g uint64) *applyEntry {
+	h := mix64(f<<6 ^ g ^ uint64(op)<<58)
+	return &c.entries[h&c.mask]
+}
+
+func (c *applyCache) get(op opcode, f, g uint64) (*Node, bool) {
+	e := c.slot(op, f, g)
+	if e.f == f && e.g == g && e.op == op && e.f != 0 {
+		return e.res, true
+	}
+	return nil, false
+}
+
+func (c *applyCache) put(op opcode, f, g uint64, res *Node) {
+	*c.slot(op, f, g) = applyEntry{f, g, op, res}
+}
+
+// --- kreduce cache (lossy, direct-mapped) ---
+
+type kreduceEntry struct {
+	f   uint64
+	k   int32
+	res *Node
+}
+
+type kreduceCache struct {
+	entries []kreduceEntry
+	mask    uint64
+}
+
+func newKReduceCache() *kreduceCache {
+	size := 1 << kreduceCacheBits
+	return &kreduceCache{entries: make([]kreduceEntry, size), mask: uint64(size - 1)}
+}
+
+func (c *kreduceCache) get(f uint64, k int32) (*Node, bool) {
+	e := &c.entries[mix64(f^uint64(k)<<48)&c.mask]
+	if e.f == f && e.k == k {
+		return e.res, true
+	}
+	return nil, false
+}
+
+func (c *kreduceCache) put(f uint64, k int32, res *Node) {
+	c.entries[mix64(f^uint64(k)<<48)&c.mask] = kreduceEntry{f, k, res}
+}
+
+// --- unary caches (Not, Range; lossy, direct-mapped) ---
+
+type unaryEntry struct {
+	f   uint64
+	res *Node
+}
+
+type unaryCache struct {
+	entries []unaryEntry
+	mask    uint64
+}
+
+func newUnaryCache() *unaryCache {
+	size := 1 << unaryCacheBits
+	return &unaryCache{entries: make([]unaryEntry, size), mask: uint64(size - 1)}
+}
+
+func (c *unaryCache) get(f uint64) (*Node, bool) {
+	e := &c.entries[mix64(f)&c.mask]
+	if e.f == f {
+		return e.res, true
+	}
+	return nil, false
+}
+
+func (c *unaryCache) put(f uint64, res *Node) {
+	c.entries[mix64(f)&c.mask] = unaryEntry{f, res}
+}
+
+type rangeEntry struct {
+	f      uint64
+	lo, hi float64
+}
+
+type rangeCache struct {
+	entries []rangeEntry
+	mask    uint64
+}
+
+func newRangeCache() *rangeCache {
+	size := 1 << unaryCacheBits
+	return &rangeCache{entries: make([]rangeEntry, size), mask: uint64(size - 1)}
+}
+
+func (c *rangeCache) get(f uint64) (lo, hi float64, ok bool) {
+	e := &c.entries[mix64(f)&c.mask]
+	if e.f == f {
+		return e.lo, e.hi, true
+	}
+	return 0, 0, false
+}
+
+func (c *rangeCache) put(f uint64, lo, hi float64) {
+	c.entries[mix64(f)&c.mask] = rangeEntry{f, lo, hi}
+}

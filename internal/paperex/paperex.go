@@ -1,0 +1,171 @@
+// Package paperex contains ready-made network specifications reproducing
+// the paper's worked examples: the motivating example of Figure 1, the SR
+// anycast use case of Figure 9, and the misconfiguration use case of
+// Figure 10. They serve as integration-test fixtures and as the input of
+// the runnable examples.
+package paperex
+
+import "github.com/yu-verify/yu/internal/config"
+
+// Motivating is the Figure 1 network: routers A (AS 100), B (AS 200), and
+// C,D,E,F (AS 300, iBGP over IS-IS), destination 100.0.0.0/24 attached to
+// F, an SR policy on D steering DSCP-5 traffic over [E,F] (weight 75) and
+// [C,F] (weight 25), and two flows f1 (20 Gbps, DSCP 0, enters at A) and
+// f2 (80 Gbps, DSCP 5, enters at B). E and F are connected by two parallel
+// links so that the no-failure scenario satisfies P2 (each carries
+// 50 Gbps, Figure 1(a)).
+const Motivating = `
+# Figure 1: motivating example
+router A as 100 loopback 10.0.0.1
+router B as 200 loopback 10.0.0.2
+router C as 300 loopback 10.0.0.3
+router D as 300 loopback 10.0.0.4
+router E as 300 loopback 10.0.0.5
+router F as 300 loopback 10.0.0.6
+
+link A B cost 10000 capacity 100 addr-a 1.2.0.1 addr-b 1.2.0.2
+link A C cost 10000 capacity 100 addr-a 1.3.0.1 addr-b 1.3.0.2
+link B C cost 10000 capacity 100 addr-a 2.3.0.1 addr-b 2.3.0.2
+link B D cost 10000 capacity 100 addr-a 2.4.0.1 addr-b 2.4.0.2
+link C D cost 10000 capacity 100
+link C E cost 10000 capacity 100
+link D E cost 10000 capacity 100 addr-a 4.5.0.1 addr-b 4.5.0.2
+link E F cost 10000 capacity 100
+link E F cost 10000 capacity 100
+
+auto-bgp-mesh
+
+config F
+  network 100.0.0.0/24
+
+config D
+  sr-policy 10.0.0.6/32 dscp 5
+    path 10.0.0.5 10.0.0.6 weight 75
+    path 10.0.0.3 10.0.0.6 weight 25
+
+flow f1 ingress A src 11.0.0.1 dst 100.0.0.1 dscp 0 gbps 20
+flow f2 ingress B src 11.0.0.2 dst 100.0.0.2 dscp 5 gbps 80
+
+# P1: delivered traffic must not drop below 70 Gbps.
+property delivered 100.0.0.0/24 min 70
+# P2 is "no link carries >= 95 Gbps"; the verifier checks it on all links.
+
+failures k 1 mode links
+`
+
+// MustMotivating parses the motivating example spec.
+func MustMotivating() *config.Spec {
+	s, err := config.ParseSpecString(Motivating)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SRAnycast is the Figure 9 use case: traffic from DC1 steered over an SR
+// policy whose single configured path uses an anycast segment shared by
+// backbone routers B1 and B2. When link B2-C2 fails, the B2 tunnel detours
+// through the low-capacity B1-B2 link, overloading it.
+//
+// The two anycast tunnels are modeled as two explicit SR paths (one per
+// anycast owner), which is how the intended configuration resolves; the
+// detour arises from IGP rerouting of the B2->C1 continuation.
+const SRAnycast = `
+# Figure 9: link overload due to vulnerable SR configuration
+router A1 as 65001 loopback 10.1.0.1
+router A2 as 65001 loopback 10.1.0.2
+router A3 as 65001 loopback 10.1.0.3
+router B1 as 65001 loopback 10.1.0.11
+router B2 as 65001 loopback 10.1.0.12
+router C1 as 65001 loopback 10.1.0.21
+router C2 as 65001 loopback 10.1.0.22
+router C3 as 65001 loopback 10.1.0.23
+
+link A1 A2 cost 10 capacity 200
+link A1 A3 cost 10 capacity 200
+link A2 B1 cost 10 capacity 200
+link A3 B2 cost 10 capacity 200
+# Low-capacity lateral link between the backbone routers.
+link B1 B2 cost 10 capacity 50
+link B1 C3 cost 10 capacity 200
+link B2 C2 cost 10 capacity 200
+link C3 C1 cost 10 capacity 200
+link C2 C1 cost 10 capacity 200
+
+auto-bgp-mesh
+
+config C1
+  network 100.64.0.0/24
+
+config A1
+  sr-policy 10.1.0.21/32
+    path 10.1.0.11 10.1.0.21 weight 50
+    path 10.1.0.12 10.1.0.21 weight 50
+
+flow dc1dc2 ingress A1 src 10.8.0.1 dst 100.64.0.1 gbps 160
+
+failures k 1 mode links
+`
+
+// MustSRAnycast parses the Figure 9 spec.
+func MustSRAnycast() *config.Spec {
+	s, err := config.ParseSpecString(SRAnycast)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Misconfig is the Figure 10 use case: D1/D2 configure a discard static
+// for 10.0.0.0/8, redistribute it into BGP toward M1/M2, and do not
+// advertise the more-specific service prefix 10.1.0.0/26 they learn from
+// the WAN. When D1's WAN link fails, traffic matching 10/8 at D1 is
+// dropped even though redundant paths exist.
+const Misconfig = `
+# Figure 10: service traffic dropping due to misconfiguration
+router M1 as 64512 loopback 10.2.0.1
+router M2 as 64512 loopback 10.2.0.2
+router D1 as 64513 loopback 10.2.0.11
+router D2 as 64514 loopback 10.2.0.12
+router WAN as 64515 loopback 10.2.0.21
+router DC2 as 64516 loopback 10.2.0.31
+
+link M1 M2 cost 10 capacity 400
+link M1 D1 cost 10 capacity 400 addr-a 10.200.0.1 addr-b 10.200.0.2
+link M2 D2 cost 10 capacity 400 addr-a 10.200.1.1 addr-b 10.200.1.2
+link D1 WAN cost 10 capacity 400
+link D2 WAN cost 10 capacity 400
+link WAN DC2 cost 10 capacity 400 nofail
+
+config DC2
+  network 10.1.0.0/26
+
+# D1/D2: discard static for the aggregate, redistributed into BGP, and an
+# export policy that never advertises the specific service prefix to the
+# aggregation routers — the paper's misconfiguration.
+config D1
+  static 10.0.0.0/8 discard
+  redistribute static
+  neighbor 10.200.0.1 remote-as 64512 export-deny 10.1.0.0/26
+
+config D2
+  static 10.0.0.0/8 discard
+  redistribute static
+  neighbor 10.200.1.1 remote-as 64512 export-deny 10.1.0.0/26
+
+auto-bgp-mesh
+
+flow svc ingress M1 src 10.3.0.1 dst 10.1.0.5 gbps 100
+
+property delivered 10.1.0.0/26 min 99
+failures k 1 mode links
+`
+
+// MustMisconfig parses the Figure 10 spec.
+func MustMisconfig() *config.Spec {
+	s, err := config.ParseSpecString(Misconfig)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,511 @@
+package routesim
+
+import (
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// BGPCand is one guarded BGP route candidate in a router's guarded RIB.
+// Candidates are ordered by the (static) BGP decision process — the guard
+// only gates presence, never preference, exactly as in the paper's guarded
+// RIB semantics (§4.1).
+type BGPCand struct {
+	Prefix netip.Prefix
+	// NextHop is the route's next hop: an interface address for direct
+	// (eBGP-learned) routes, a loopback for indirect (iBGP) routes.
+	NextHop netip.Addr
+	// Direct is true when NextHop is a directly connected interface, in
+	// which case OutEdge is the directed link to use. Indirect next hops
+	// go through route iteration (IGP or SR policy, §4.4).
+	Direct  bool
+	OutEdge topo.DirLinkID
+	// NextHopRouter is the owner of a loopback NextHop (indirect routes).
+	NextHopRouter topo.RouterID
+	// Deliver marks a locally originated network: matching traffic
+	// terminates at this router (the destination is attached).
+	Deliver bool
+	// Discard marks a redistributed discard static: matching traffic
+	// arriving here is dropped.
+	Discard bool
+	// AdvertiseOnly marks a local candidate that exists for export but
+	// is not installed for forwarding (redistributed statics: the static
+	// itself already forwards locally at a better admin distance).
+	AdvertiseOnly bool
+	ASPath        []uint32
+	LocalPref     uint32
+	FromEBGP      bool
+	// IGPCost is the static (no-failure) IGP metric from this router to
+	// the route's next hop — the hot-potato tiebreak of the decision
+	// process. Direct and local routes have cost 0.
+	IGPCost int64
+	Guard   *mtbdd.Node
+}
+
+// better reports whether a is strictly preferred to b under the static BGP
+// decision process: local preference, locally-originated, AS-path length,
+// eBGP over iBGP. Remaining ties mean ECMP multipath (the paper's B
+// load-balancing over C and D).
+func (a *BGPCand) better(b *BGPCand) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	aLocal, bLocal := a.Deliver || a.Discard || a.AdvertiseOnly, b.Deliver || b.Discard || b.AdvertiseOnly
+	if aLocal != bLocal {
+		return aLocal
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.FromEBGP != b.FromEBGP {
+		return a.FromEBGP
+	}
+	if a.IGPCost != b.IGPCost {
+		return a.IGPCost < b.IGPCost
+	}
+	return false
+}
+
+// SameRank reports that a and b tie in the decision process: both belong
+// to the same ECMP multipath set when simultaneously present.
+func (a *BGPCand) SameRank(b *BGPCand) bool {
+	return !a.better(b) && !b.better(a)
+}
+
+type candKey struct {
+	nexthop       netip.Addr
+	direct        bool
+	outEdge       topo.DirLinkID
+	deliver       bool
+	discard       bool
+	advertiseOnly bool
+	aspath        string
+	localPref     uint32
+	fromEBGP      bool
+	igpCost       int64
+}
+
+func keyOf(c *BGPCand) candKey {
+	var sb strings.Builder
+	for _, as := range c.ASPath {
+		sb.WriteString(strconv.FormatUint(uint64(as), 10))
+		sb.WriteByte(',')
+	}
+	return candKey{
+		nexthop: c.NextHop, direct: c.Direct, outEdge: c.OutEdge,
+		deliver: c.Deliver, discard: c.Discard, advertiseOnly: c.AdvertiseOnly,
+		aspath: sb.String(), localPref: c.LocalPref, fromEBGP: c.FromEBGP,
+		igpCost: c.IGPCost,
+	}
+}
+
+// BGPRIB is one router's guarded BGP RIB: candidates per prefix, sorted by
+// preference (most preferred first).
+type BGPRIB map[netip.Prefix][]*BGPCand
+
+// BGP holds the converged symbolic BGP state of all routers.
+type BGP struct {
+	fv   *FailVars
+	RIBs []BGPRIB // indexed by RouterID
+	// Converged reports whether the fixed point was reached within the
+	// round budget.
+	Converged bool
+	Rounds    int
+}
+
+type session struct {
+	from, to topo.RouterID
+	ebgp     bool
+	// edge is the directed link from -> to for eBGP sessions.
+	edge topo.DirEdge
+	// importPref is the local-pref the receiver assigns (eBGP import).
+	importPref uint32
+	exportDeny []netip.Prefix
+}
+
+// ComputeBGP runs symbolic BGP route propagation to a fixed point:
+// synchronous rounds in which every router recomputes its guarded RIB from
+// its local originations and the guarded advertisements of its neighbors'
+// previous-round RIBs. Advertisements carry the sender's *selection* guard
+// (paper Fig 6: m4's guard is the disjunction of equally preferred m2, m3).
+func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
+	net := fv.Net
+	b := &BGP{fv: fv, RIBs: make([]BGPRIB, net.NumRouters())}
+
+	// Sessions are directional: one entry per (advertiser -> receiver).
+	var sessions []session
+	seeds := make([]BGPRIB, net.NumRouters())
+	for i := range seeds {
+		seeds[i] = make(BGPRIB)
+	}
+	for name, rc := range cfgs {
+		r, _ := net.RouterByName(name)
+		if r == nil {
+			continue
+		}
+		seedLocal(fv, net, r, rc, seeds[r.ID])
+		// The receiver's config declares the session; build the
+		// advertiser->receiver direction here.
+		for _, nb := range rc.Neighbors {
+			if nb.RemoteAS == r.AS {
+				peer, ok := net.RouterByLoopback(nb.Addr)
+				if !ok {
+					continue
+				}
+				sessions = append(sessions, session{from: peer.ID, to: r.ID, ebgp: false})
+			} else {
+				d, ok := net.DirLinkToAddr(nb.Addr)
+				if !ok {
+					continue
+				}
+				e := net.Edge(d)
+				pref := nb.LocalPref
+				if pref == 0 {
+					pref = config.DefaultLocalPref
+				}
+				// Advertisements flow peer -> r over the reverse edge;
+				// keep the edge for the session-up guard and for the
+				// receiver's outgoing direction toward the peer.
+				sessions = append(sessions, session{from: e.To, to: r.ID, ebgp: true, edge: e, importPref: pref})
+			}
+		}
+	}
+	// Exporter-side deny lists attach to sessions *from* the configured
+	// router.
+	for name, rc := range cfgs {
+		r, _ := net.RouterByName(name)
+		if r == nil {
+			continue
+		}
+		for _, nb := range rc.Neighbors {
+			if len(nb.ExportDeny) == 0 {
+				continue
+			}
+			var peerID topo.RouterID = -1
+			if nb.RemoteAS == r.AS {
+				if peer, ok := net.RouterByLoopback(nb.Addr); ok {
+					peerID = peer.ID
+				}
+			} else if d, ok := net.DirLinkToAddr(nb.Addr); ok {
+				peerID = net.Edge(d).To
+			}
+			for i := range sessions {
+				if sessions[i].from == r.ID && sessions[i].to == peerID {
+					sessions[i].exportDeny = nb.ExportDeny
+				}
+			}
+		}
+	}
+
+	for i := range seeds {
+		seeds[i] = b.normalize(seeds[i])
+	}
+	ribs := seeds
+	maxRounds := 2*net.Diameter() + 8
+	for round := 1; ; round++ {
+		// Hoist the per-router advertisement templates: the selection
+		// guards and rank-group representatives depend only on the
+		// sender's RIB, not on the session, so compute them once per
+		// router and prefix per round (critical in iBGP full meshes,
+		// where a router advertises the same content to every peer).
+		templates := make([]map[netip.Prefix][]advTemplate, net.NumRouters())
+		for i := range templates {
+			templates[i] = b.buildTemplates(ribs[i])
+		}
+		next := make([]BGPRIB, net.NumRouters())
+		for i := range next {
+			next[i] = make(BGPRIB)
+			for pfx, cands := range seeds[i] {
+				next[i][pfx] = append([]*BGPCand(nil), cands...)
+			}
+		}
+		for _, s := range sessions {
+			b.advertise(igp, templates[s.from], next[s.to], s)
+		}
+		for i := range next {
+			next[i] = b.normalize(next[i])
+		}
+		stable := true
+		for i := range next {
+			if !sameRIB(ribs[i], next[i]) {
+				stable = false
+				break
+			}
+		}
+		ribs = next
+		b.Rounds = round
+		if stable {
+			b.Converged = true
+			break
+		}
+		if round >= maxRounds {
+			break
+		}
+	}
+	b.RIBs = ribs
+	return b
+}
+
+// advTemplate is one rank group's advertisement content: the
+// representative candidate and the disjunction of the group's selection
+// guards.
+type advTemplate struct {
+	cand     *BGPCand
+	groupSel *mtbdd.Node
+}
+
+// buildTemplates computes the advertisement templates of one router.
+func (b *BGP) buildTemplates(rib BGPRIB) map[netip.Prefix][]advTemplate {
+	fv := b.fv
+	m := fv.M
+	out := make(map[netip.Prefix][]advTemplate, len(rib))
+	for pfx, cands := range rib {
+		sel := selectionGuards(fv, cands)
+		var ts []advTemplate
+		i := 0
+		for i < len(cands) {
+			j := i
+			cand := cands[i]
+			groupSel := m.Zero()
+			for j < len(cands) && cands[j].SameRank(cands[i]) {
+				if sel[j] != m.Zero() {
+					groupSel = m.Or(groupSel, sel[j])
+					if lessASPath(cands[j].ASPath, cand.ASPath) {
+						cand = cands[j]
+					}
+				}
+				j++
+			}
+			i = j
+			if groupSel != m.Zero() {
+				ts = append(ts, advTemplate{cand, fv.Reduce(groupSel)})
+			}
+		}
+		if len(ts) > 0 {
+			out[pfx] = ts
+		}
+	}
+	return out
+}
+
+// seedLocal installs a router's originated networks and redistributed
+// statics as local candidates.
+func seedLocal(fv *FailVars, net *topo.Network, r *topo.Router, rc *config.Router, rib BGPRIB) {
+	up := fv.RouterUp(r.ID)
+	for _, pfx := range rc.Networks {
+		rib[pfx] = append(rib[pfx], &BGPCand{
+			Prefix: pfx, NextHop: r.Loopback, NextHopRouter: r.ID,
+			Deliver: true, LocalPref: config.DefaultLocalPref, Guard: up,
+		})
+	}
+	if rc.RedistributeStatic {
+		for _, st := range rc.Statics {
+			c := &BGPCand{
+				Prefix: st.Prefix, NextHop: r.Loopback, NextHopRouter: r.ID,
+				Discard: st.Discard, AdvertiseOnly: true,
+				LocalPref: config.DefaultLocalPref, Guard: up,
+			}
+			if !st.Discard {
+				// Present only while the static's own next hop resolves.
+				if d, ok := net.DirLinkToAddr(st.NextHop); ok {
+					c.Guard = fv.M.And(up, fv.EdgeUp(net.Edge(d)))
+				}
+			}
+			rib[st.Prefix] = append(rib[st.Prefix], c)
+		}
+	}
+}
+
+// advertise sends the sender's advertisement templates to the receiver.
+func (b *BGP) advertise(igp *IGP, from map[netip.Prefix][]advTemplate, to BGPRIB, s session) {
+	fv, net := b.fv, b.fv.Net
+	m := fv.M
+	var sessUp *mtbdd.Node
+	if s.ebgp {
+		sessUp = fv.EdgeUp(s.edge)
+	} else {
+		// iBGP over TCP to the peer loopback: alive iff the IGP connects
+		// the two loopbacks (endpoint router liveness included in reach).
+		sessUp = igp.Reach(s.from, s.to)
+	}
+	if sessUp == m.Zero() {
+		return
+	}
+	fromRouter := net.Router(s.from)
+	toRouter := net.Router(s.to)
+	for pfx, ts := range from {
+		if denied(s.exportDeny, pfx) {
+			continue
+		}
+		for _, tpl := range ts {
+			cand := tpl.cand
+			if !s.ebgp && !cand.FromEBGP && !(cand.Deliver || cand.Discard || cand.AdvertiseOnly) {
+				// iBGP-learned routes are not re-advertised over iBGP
+				// (full-mesh rule).
+				continue
+			}
+			adv := &BGPCand{Prefix: pfx}
+			if s.ebgp {
+				// AS-path prepend + loop rejection.
+				if hasAS(cand.ASPath, toRouter.AS) {
+					continue
+				}
+				adv.ASPath = append([]uint32{fromRouter.AS}, cand.ASPath...)
+				// s.edge runs receiver -> sender, so the sender's
+				// interface address is the remote end, and the receiver
+				// forwards out of s.edge itself.
+				adv.NextHop = s.edge.RemoteAddr
+				adv.Direct = true
+				adv.OutEdge = s.edge.DirLink
+				adv.LocalPref = s.importPref
+				adv.FromEBGP = true
+			} else {
+				// iBGP: next-hop-self, attributes carried unchanged;
+				// the receiver tiebreaks by its static IGP cost to the
+				// next hop (hot potato).
+				adv.ASPath = cand.ASPath
+				adv.NextHop = fromRouter.Loopback
+				adv.NextHopRouter = s.from
+				adv.LocalPref = cand.LocalPref
+				if c, ok := igp.NoFailCost(s.to, s.from); ok {
+					adv.IGPCost = c
+				} else {
+					adv.IGPCost = 1 << 50
+				}
+			}
+			guard := fv.Reduce(m.And(tpl.groupSel, sessUp))
+			if guard == m.Zero() {
+				continue
+			}
+			adv.Guard = guard
+			to[pfx] = append(to[pfx], adv)
+		}
+	}
+}
+
+// lessASPath orders AS paths lexicographically (used to pick the
+// deterministic representative of an ECMP group).
+func lessASPath(a, b []uint32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// selectionGuards computes s_r for every candidate (paper §4.4): present
+// and every strictly more preferred candidate absent.
+func selectionGuards(fv *FailVars, cands []*BGPCand) []*mtbdd.Node {
+	m := fv.M
+	out := make([]*mtbdd.Node, len(cands))
+	// cands are sorted most-preferred-first by normalize; compute the
+	// running disjunction of strictly better guards per rank group.
+	better := m.Zero()
+	i := 0
+	for i < len(cands) {
+		j := i
+		groupOr := m.Zero()
+		for j < len(cands) && cands[j].SameRank(cands[i]) {
+			out[j] = fv.Reduce(m.And(cands[j].Guard, m.Not(better)))
+			groupOr = m.Or(groupOr, cands[j].Guard)
+			j++
+		}
+		better = fv.Reduce(m.Or(better, groupOr))
+		i = j
+	}
+	return out
+}
+
+// normalize merges duplicate candidates (Or of guards), sorts by
+// preference, and prunes candidates that can never be selected within the
+// failure budget.
+func (b *BGP) normalize(rib BGPRIB) BGPRIB {
+	fv := b.fv
+	m := fv.M
+	out := make(BGPRIB, len(rib))
+	for pfx, cands := range rib {
+		merged := make(map[candKey]*BGPCand)
+		var order []candKey
+		for _, c := range cands {
+			k := keyOf(c)
+			if prev, ok := merged[k]; ok {
+				prev.Guard = fv.Reduce(m.Or(prev.Guard, c.Guard))
+			} else {
+				cc := *c
+				merged[k] = &cc
+				order = append(order, k)
+			}
+		}
+		list := make([]*BGPCand, 0, len(order))
+		for _, k := range order {
+			if merged[k].Guard != m.Zero() {
+				list = append(list, merged[k])
+			}
+		}
+		sort.SliceStable(list, func(i, j int) bool { return list[i].better(list[j]) })
+		// Prune never-selectable candidates.
+		kept := list[:0]
+		better := m.Zero()
+		i := 0
+		for i < len(list) {
+			j := i
+			groupOr := m.Zero()
+			for j < len(list) && list[j].SameRank(list[i]) {
+				c := list[j]
+				if fv.Feasible(m.And(c.Guard, m.Not(better))) {
+					kept = append(kept, c)
+					groupOr = m.Or(groupOr, c.Guard)
+				}
+				j++
+			}
+			better = fv.Reduce(m.Or(better, groupOr))
+			i = j
+		}
+		if len(kept) > 0 {
+			out[pfx] = kept
+		}
+	}
+	return out
+}
+
+func sameRIB(a, b BGPRIB) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for pfx, ac := range a {
+		bc, ok := b[pfx]
+		if !ok || len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if keyOf(ac[i]) != keyOf(bc[i]) || ac[i].Guard != bc[i].Guard {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasAS(path []uint32, as uint32) bool {
+	for _, a := range path {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+func denied(deny []netip.Prefix, pfx netip.Prefix) bool {
+	for _, d := range deny {
+		if d == pfx {
+			return true
+		}
+	}
+	return false
+}

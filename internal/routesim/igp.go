@@ -1,0 +1,285 @@
+package routesim
+
+import (
+	"sort"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// IGPRoute is one guarded IGP (IS-IS) candidate at some router for a
+// destination router's loopback: traffic takes the directed link Out, the
+// total path cost is Cost, and the route is present exactly when Guard
+// holds. A guarded IS-IS RIB is the cost-sorted list of candidates; under
+// failures, less preferred (higher-cost) candidates become selected when
+// all cheaper ones are absent (paper §4.4, route selection encoding).
+type IGPRoute struct {
+	Out   topo.DirLinkID
+	Cost  int64
+	Guard *mtbdd.Node
+}
+
+// IGP holds the symbolic IS-IS state of every router: guarded RIBs toward
+// every same-AS loopback, and the reachability guards reach_{A,B} used for
+// iBGP session liveness and SR path guards (paper §4.1, Figure 4).
+type IGP struct {
+	fv     *FailVars
+	routes []map[topo.RouterID][]IGPRoute
+	reach  []map[topo.RouterID]*mtbdd.Node
+}
+
+// Routes returns the guarded candidates at router r toward dest's
+// loopback, sorted by increasing cost. Nil if dest is in another AS or
+// unreachable.
+func (g *IGP) Routes(r, dest topo.RouterID) []IGPRoute {
+	return g.routes[r][dest]
+}
+
+// Reach returns the guard "router a can reach router b over the IGP"
+// (reach_{a,b}). Zero guard if b is in another AS or disconnected.
+func (g *IGP) Reach(a, b topo.RouterID) *mtbdd.Node {
+	if r, ok := g.reach[a][b]; ok {
+		return r
+	}
+	return g.fv.M.Zero()
+}
+
+// NoFailCost returns r's IGP cost to dest in the no-failure scenario, or
+// ok=false if dest is not IGP-reachable with everything alive. It is the
+// static metric behind the BGP decision process's hot-potato tiebreak
+// (preference is static in a guarded RIB; guards only gate presence).
+func (g *IGP) NoFailCost(r, dest topo.RouterID) (int64, bool) {
+	if r == dest {
+		return 0, true
+	}
+	for _, rt := range g.routes[r][dest] {
+		// Candidates are cost-sorted; the first whose guard holds with
+		// everything alive is the no-failure best.
+		if g.fv.M.EvalAllAlive(rt.Guard) != 0 {
+			return rt.Cost, true
+		}
+	}
+	return 0, false
+}
+
+// GuardNodes returns every MTBDD node held by the IGP state (route guards
+// and reachability guards) — the root set a managed garbage collection
+// must preserve.
+func (g *IGP) GuardNodes() []*mtbdd.Node {
+	var out []*mtbdd.Node
+	for r := range g.routes {
+		for _, routes := range g.routes[r] {
+			for _, rt := range routes {
+				out = append(out, rt.Guard)
+			}
+		}
+		for _, reach := range g.reach[r] {
+			out = append(out, reach)
+		}
+	}
+	return out
+}
+
+// ComputeIGP runs symbolic IS-IS route simulation in every AS: a guarded
+// Bellman-Ford fixed point that propagates (cost, guard) path-existence
+// sets, then derives per-first-hop candidates. Walk-shaped entries are
+// eliminated by selection-feasibility pruning: a cost level whose guard is
+// covered (within the k budget) by cheaper levels can never be selected.
+func ComputeIGP(fv *FailVars) *IGP {
+	net := fv.Net
+	g := &IGP{
+		fv:     fv,
+		routes: make([]map[topo.RouterID][]IGPRoute, net.NumRouters()),
+		reach:  make([]map[topo.RouterID]*mtbdd.Node, net.NumRouters()),
+	}
+	for i := range g.routes {
+		g.routes[i] = make(map[topo.RouterID][]IGPRoute)
+		g.reach[i] = make(map[topo.RouterID]*mtbdd.Node)
+	}
+	for _, as := range net.ASes() {
+		members := net.RoutersInAS(as)
+		inAS := make(map[topo.RouterID]bool, len(members))
+		for _, r := range members {
+			inAS[r] = true
+		}
+		for _, dest := range members {
+			g.computeDest(members, inAS, dest)
+		}
+	}
+	return g
+}
+
+// costGuards is a path-existence set: cost -> guard that a live path of
+// that cost exists.
+type costGuards map[int64]*mtbdd.Node
+
+func (g *IGP) computeDest(members []topo.RouterID, inAS map[topo.RouterID]bool, dest topo.RouterID) {
+	m, fv, net := g.fv.M, g.fv, g.fv.Net
+	pe := make(map[topo.RouterID]costGuards, len(members))
+	pe[dest] = costGuards{0: m.One()}
+
+	// Synchronous fixed point, at most |AS| rounds (longest simple path).
+	for round := 0; round < len(members); round++ {
+		next := make(map[topo.RouterID]costGuards, len(members))
+		next[dest] = costGuards{0: m.One()}
+		changed := false
+		for _, r := range members {
+			if r == dest {
+				continue
+			}
+			acc := make(costGuards)
+			for _, e := range net.Out(r) {
+				if !inAS[e.To] {
+					continue
+				}
+				nbr := pe[e.To]
+				if nbr == nil {
+					continue
+				}
+				up := fv.EdgeUp(e)
+				for c, guard := range nbr {
+					total := c + e.Cost
+					add := fv.Reduce(m.And(up, guard))
+					if add == m.Zero() {
+						continue
+					}
+					if prev, ok := acc[total]; ok {
+						acc[total] = fv.Reduce(m.Or(prev, add))
+					} else {
+						acc[total] = add
+					}
+				}
+			}
+			pruned := pruneDominated(fv, acc)
+			if len(pruned) > 0 {
+				next[r] = pruned
+			}
+			if !changed && !sameCostGuards(pe[r], pruned) {
+				changed = true
+			}
+		}
+		pe = next
+		if !changed {
+			break
+		}
+	}
+
+	// Reachability: disjunction over all path-existence guards.
+	for _, r := range members {
+		if r == dest {
+			g.reach[r][dest] = fv.RouterUp(dest)
+			continue
+		}
+		acc := m.Zero()
+		for _, guard := range pe[r] {
+			acc = m.Or(acc, guard)
+		}
+		acc = fv.Reduce(acc)
+		if acc != m.Zero() {
+			g.reach[r][dest] = acc
+		}
+	}
+
+	// First-hop candidates: r reaches dest via edge e at cost w(e)+c
+	// whenever e is usable and a path of cost c exists from e.To.
+	for _, r := range members {
+		if r == dest {
+			continue
+		}
+		var cands []IGPRoute
+		for _, e := range net.Out(r) {
+			if !inAS[e.To] {
+				continue
+			}
+			var nbr costGuards
+			if e.To == dest {
+				nbr = costGuards{0: m.One()}
+			} else {
+				nbr = pe[e.To]
+			}
+			up := fv.EdgeUp(e)
+			for c, guard := range nbr {
+				gg := fv.Reduce(m.And(up, guard))
+				if gg == m.Zero() {
+					continue
+				}
+				cands = append(cands, IGPRoute{Out: e.DirLink, Cost: e.Cost + c, Guard: gg})
+			}
+		}
+		cands = pruneCandidates(fv, cands)
+		if len(cands) > 0 {
+			g.routes[r][dest] = cands
+		}
+	}
+}
+
+// pruneDominated keeps only cost levels that can actually be the best
+// present level in some scenario within the failure budget.
+func pruneDominated(fv *FailVars, cg costGuards) costGuards {
+	if len(cg) == 0 {
+		return nil
+	}
+	m := fv.M
+	costs := make([]int64, 0, len(cg))
+	for c := range cg {
+		costs = append(costs, c)
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i] < costs[j] })
+	out := make(costGuards, len(cg))
+	cheaper := m.Zero()
+	for _, c := range costs {
+		guard := cg[c]
+		selectable := m.And(guard, m.Not(cheaper))
+		if fv.Feasible(selectable) {
+			out[c] = guard
+			cheaper = fv.Reduce(m.Or(cheaper, guard))
+		}
+	}
+	return out
+}
+
+// pruneCandidates drops candidates that can never be selected within the
+// budget (their guard is covered by strictly cheaper candidates), and
+// returns the rest sorted by cost then directed link.
+func pruneCandidates(fv *FailVars, cands []IGPRoute) []IGPRoute {
+	if len(cands) == 0 {
+		return nil
+	}
+	m := fv.M
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Cost != cands[j].Cost {
+			return cands[i].Cost < cands[j].Cost
+		}
+		return cands[i].Out < cands[j].Out
+	})
+	out := cands[:0]
+	cheaper := m.Zero() // disjunction of guards at strictly lower cost
+	i := 0
+	for i < len(cands) {
+		j := i
+		levelOr := m.Zero()
+		for j < len(cands) && cands[j].Cost == cands[i].Cost {
+			cand := cands[j]
+			if fv.Feasible(m.And(cand.Guard, m.Not(cheaper))) {
+				out = append(out, cand)
+				levelOr = m.Or(levelOr, cand.Guard)
+			}
+			j++
+		}
+		cheaper = fv.Reduce(m.Or(cheaper, levelOr))
+		i = j
+	}
+	return out
+}
+
+func sameCostGuards(a, b costGuards) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, g := range a {
+		if b[c] != g {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package routesim
+
+import (
+	"fmt"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Result is the complete output of symbolic route simulation: everything
+// symbolic traffic execution (internal/core) needs.
+type Result struct {
+	Vars *FailVars
+	IGP  *IGP
+	BGP  *BGP
+	// SR holds each router's guarded SR policies (indexed by RouterID).
+	SR [][]GuardedSRPolicy
+	// Statics holds each router's guarded static routes.
+	Statics [][]GuardedStatic
+}
+
+// Run performs symbolic route simulation for the network and
+// configurations under the failure variables fv.
+func Run(fv *FailVars, cfgs config.Configs) (*Result, error) {
+	net := fv.Net
+	igp := ComputeIGP(fv)
+	bgp := ComputeBGP(fv, cfgs, igp)
+	res := &Result{
+		Vars:    fv,
+		IGP:     igp,
+		BGP:     bgp,
+		SR:      make([][]GuardedSRPolicy, net.NumRouters()),
+		Statics: make([][]GuardedStatic, net.NumRouters()),
+	}
+	for name, rc := range cfgs {
+		r, ok := net.RouterByName(name)
+		if !ok {
+			return nil, fmt.Errorf("routesim: config for unknown router %q", name)
+		}
+		// SR policies.
+		var pols []srConfigPolicy
+		for _, p := range rc.SRPolicies {
+			cp := srConfigPolicy{endpoint: p.Endpoint, dscp: p.MatchDSCP}
+			for _, path := range p.Paths {
+				var segs []topo.RouterID
+				for _, addr := range path.Segments {
+					owner, ok := net.RouterByLoopback(addr)
+					if !ok {
+						return nil, fmt.Errorf("routesim: %s: SR segment %s is not a loopback", name, addr)
+					}
+					segs = append(segs, owner.ID)
+				}
+				cp.paths = append(cp.paths, srConfigPath{segments: segs, weight: path.Weight})
+			}
+			pols = append(pols, cp)
+		}
+		res.SR[r.ID] = computeSR(fv, igp, r, pols)
+
+		// Static routes.
+		for _, st := range rc.Statics {
+			gs := GuardedStatic{Prefix: st.Prefix, Discard: st.Discard, Guard: fv.RouterUp(r.ID)}
+			if !st.Discard {
+				if d, ok := net.DirLinkToAddr(st.NextHop); ok {
+					e := net.Edge(d)
+					if e.From != r.ID {
+						return nil, fmt.Errorf("routesim: %s: static next hop %s is not local", name, st.NextHop)
+					}
+					gs.Out = d
+					gs.Guard = fv.Reduce(fv.M.And(gs.Guard, fv.EdgeUp(e)))
+				} else if owner, ok := net.RouterByLoopback(st.NextHop); ok {
+					gs.Indirect = true
+					gs.ViaRouter = owner.ID
+				} else {
+					return nil, fmt.Errorf("routesim: %s: static next hop %s unresolvable", name, st.NextHop)
+				}
+			}
+			res.Statics[r.ID] = append(res.Statics[r.ID], gs)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package routesim
+
+import (
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// GuardedSRPath is one weighted SR path with its tunnel-establishment
+// guard: the conjunction of per-segment IGP reachability (paper §4.1,
+// Figure 4: guard(p1) = reach_{D,E} ∧ reach_{E,F}).
+type GuardedSRPath struct {
+	// Segments are the routers of the label stack, in traversal order.
+	Segments []topo.RouterID
+	Weight   int64
+	Guard    *mtbdd.Node
+}
+
+// GuardedSRPolicy is an SR policy whose paths carry guards.
+type GuardedSRPolicy struct {
+	Endpoint  netip.Prefix
+	MatchDSCP int
+	Paths     []GuardedSRPath
+}
+
+// Matches reports whether the policy applies to a resolved next hop and
+// DSCP value.
+func (p *GuardedSRPolicy) Matches(nip netip.Addr, dscp uint8) bool {
+	if !p.Endpoint.Contains(nip) {
+		return false
+	}
+	return p.MatchDSCP < 0 || p.MatchDSCP == int(dscp)
+}
+
+// GuardedStatic is a static route with its presence guard: the owning
+// router is alive, and for non-discard routes the next-hop interface
+// resolves.
+type GuardedStatic struct {
+	Prefix  netip.Prefix
+	Discard bool
+	// Out is the directed link for a direct next hop (valid if !Discard
+	// and !Indirect).
+	Out topo.DirLinkID
+	// Indirect routes recurse through the IGP toward ViaRouter.
+	Indirect  bool
+	ViaRouter topo.RouterID
+	Guard     *mtbdd.Node
+}
+
+// computeSR builds guarded SR policies for router r from its
+// configuration, using IGP reachability for per-segment guards.
+func computeSR(fv *FailVars, igp *IGP, r *topo.Router, cfgPols []srConfigPolicy) []GuardedSRPolicy {
+	m := fv.M
+	var out []GuardedSRPolicy
+	for _, cp := range cfgPols {
+		gp := GuardedSRPolicy{Endpoint: cp.endpoint, MatchDSCP: cp.dscp}
+		for _, path := range cp.paths {
+			guard := m.One()
+			prev := r.ID
+			for _, seg := range path.segments {
+				guard = m.And(guard, igp.Reach(prev, seg))
+				prev = seg
+			}
+			guard = fv.Reduce(guard)
+			gp.Paths = append(gp.Paths, GuardedSRPath{
+				Segments: path.segments,
+				Weight:   path.weight,
+				Guard:    guard,
+			})
+		}
+		out = append(out, gp)
+	}
+	return out
+}
+
+type srConfigPolicy struct {
+	endpoint netip.Prefix
+	dscp     int
+	paths    []srConfigPath
+}
+
+type srConfigPath struct {
+	segments []topo.RouterID
+	weight   int64
+}

@@ -1,0 +1,164 @@
+// Package routesim implements symbolic route simulation (paper §4.1,
+// following Hoyan): it computes, for every router, a guarded RIB — BGP and
+// IGP routes annotated with a boolean guard (an MTBDD over link/router
+// failure variables) encoding exactly the failure scenarios in which the
+// route is present — and guarded SR policies whose per-path guards are
+// conjunctions of per-segment IGP reachability.
+package routesim
+
+import (
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// FailVars allocates one boolean MTBDD variable per failable element of
+// the network, according to the failure mode. Elements outside the mode
+// (and elements marked NoFail) get no variable and are treated as always
+// alive.
+type FailVars struct {
+	M    *mtbdd.Manager
+	Net  *topo.Network
+	Mode topo.FailureMode
+	K    int // failure budget used for KReduce throughout the pipeline
+
+	linkVar   []int // per LinkID; -1 if unfailable
+	routerVar []int // per RouterID; -1 if unfailable
+	kindOf    []varKind
+	elemOf    []int32
+}
+
+type varKind int8
+
+const (
+	varLink varKind = iota
+	varRouter
+)
+
+// NewFailVars creates the failure variables for net under the given mode
+// and budget k. Link variables are allocated before router variables.
+func NewFailVars(m *mtbdd.Manager, net *topo.Network, mode topo.FailureMode, k int) *FailVars {
+	fv := &FailVars{
+		M:         m,
+		Net:       net,
+		Mode:      mode,
+		K:         k,
+		linkVar:   make([]int, net.NumLinks()),
+		routerVar: make([]int, net.NumRouters()),
+	}
+	for i := range fv.linkVar {
+		fv.linkVar[i] = -1
+	}
+	for i := range fv.routerVar {
+		fv.routerVar[i] = -1
+	}
+	if mode == topo.FailLinks || mode == topo.FailBoth {
+		for i := range net.Links {
+			if net.Links[i].NoFail {
+				continue
+			}
+			v := m.AddVar("L:" + net.LinkName(topo.LinkID(i)))
+			fv.linkVar[i] = v
+			fv.kindOf = append(fv.kindOf, varLink)
+			fv.elemOf = append(fv.elemOf, int32(i))
+		}
+	}
+	if mode == topo.FailRouters || mode == topo.FailBoth {
+		for i := range net.Routers {
+			if net.Routers[i].NoFail {
+				continue
+			}
+			v := m.AddVar("R:" + net.Routers[i].Name)
+			fv.routerVar[i] = v
+			fv.kindOf = append(fv.kindOf, varRouter)
+			fv.elemOf = append(fv.elemOf, int32(i))
+		}
+	}
+	return fv
+}
+
+// NumVars returns the number of allocated failure variables.
+func (fv *FailVars) NumVars() int { return len(fv.kindOf) }
+
+// LinkVar returns the variable of link l, or -1 if the link cannot fail.
+func (fv *FailVars) LinkVar(l topo.LinkID) int { return fv.linkVar[l] }
+
+// RouterVar returns the variable of router r, or -1 if it cannot fail.
+func (fv *FailVars) RouterVar(r topo.RouterID) int { return fv.routerVar[r] }
+
+// DescribeVar renders variable v ("L:A-B" or "R:C").
+func (fv *FailVars) DescribeVar(v int) string { return fv.M.VarName(v) }
+
+// VarElement returns what variable v models: a link ID (isLink true) or a
+// router ID (isLink false).
+func (fv *FailVars) VarElement(v int) (linkID topo.LinkID, routerID topo.RouterID, isLink bool) {
+	if fv.kindOf[v] == varLink {
+		return topo.LinkID(fv.elemOf[v]), 0, true
+	}
+	return 0, topo.RouterID(fv.elemOf[v]), false
+}
+
+// RouterUp returns the guard "router r is alive".
+func (fv *FailVars) RouterUp(r topo.RouterID) *mtbdd.Node {
+	if v := fv.routerVar[r]; v >= 0 {
+		return fv.M.Var(v)
+	}
+	return fv.M.One()
+}
+
+// LinkUp returns the guard "link l is alive" (endpoints not included).
+func (fv *FailVars) LinkUp(l topo.LinkID) *mtbdd.Node {
+	if v := fv.linkVar[l]; v >= 0 {
+		return fv.M.Var(v)
+	}
+	return fv.M.One()
+}
+
+// EdgeUp returns the guard "the directed link e is usable": the link and
+// both endpoint routers are alive.
+func (fv *FailVars) EdgeUp(e topo.DirEdge) *mtbdd.Node {
+	g := fv.LinkUp(e.DirLink.Link())
+	g = fv.M.And(g, fv.RouterUp(e.From))
+	return fv.M.And(g, fv.RouterUp(e.To))
+}
+
+// Reduce applies the k-failure-equivalence reduction with the pipeline's
+// budget (§5.2). It is the hook every phase of symbolic simulation uses to
+// keep MTBDDs small; disabled budgets (<0) return f unchanged, which is
+// the "YU w/o MTBDD reduction" ablation of Fig 15/16.
+func (fv *FailVars) Reduce(f *mtbdd.Node) *mtbdd.Node {
+	if fv.K < 0 {
+		return f
+	}
+	return fv.M.KReduce(f, fv.K)
+}
+
+// Feasible reports whether guard g is satisfiable within the failure
+// budget: after KReduce, a guard that is identically 0 can never hold in a
+// scenario with at most K failures.
+func (fv *FailVars) Feasible(g *mtbdd.Node) bool {
+	if fv.K < 0 {
+		return g != fv.M.Zero()
+	}
+	return fv.M.KReduce(g, fv.K) != fv.M.Zero()
+}
+
+// Scenario converts a set of failed elements into a variable assignment
+// (true = alive) suitable for mtbdd.Eval. Unknown/unfailable elements are
+// ignored.
+func (fv *FailVars) Scenario(failedLinks []topo.LinkID, failedRouters []topo.RouterID) []bool {
+	assign := make([]bool, fv.M.NumVars())
+	for i := range assign {
+		assign[i] = true
+	}
+	for _, l := range failedLinks {
+		if v := fv.linkVar[l]; v >= 0 {
+			assign[v] = false
+		}
+	}
+	for _, r := range failedRouters {
+		if v := fv.routerVar[r]; v >= 0 {
+			assign[v] = false
+		}
+	}
+	return assign
+}

@@ -1,0 +1,14 @@
+package spath
+
+import (
+	"net/netip"
+
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// loadsForTest exposes the internal load computation to tests.
+func (m *Model) loadsForTest(down []bool) (map[topo.DirLinkID]float64, map[topo.LinkID]bool) {
+	return m.loads(down)
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }

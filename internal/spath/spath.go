@@ -1,0 +1,306 @@
+// Package spath implements a QARC-style baseline verifier [52]: the
+// network control plane is modeled as a single weighted graph, traffic is
+// assumed to follow shortest paths (with equal-split ECMP), and k-failure
+// overload detection searches the failure-set space.
+//
+// QARC encodes this search as an integer linear program solved by a
+// commercial solver; with a stdlib-only constraint we substitute a
+// branch-and-bound enumeration over failure sets with trajectory-based
+// pruning (see DESIGN.md, substitutions). The model-level restrictions the
+// paper highlights are preserved faithfully: the shortest-path assumption
+// cannot express SR policies, iBGP/local-pref route selection, or
+// discard/redistribution behavior, so Faithful reports whether a given
+// specification is inside the model.
+package spath
+
+import (
+	"container/heap"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Model is the QARC-style weighted-graph view of a network.
+type Model struct {
+	net *topo.Network
+	// dest[i] is the destination router of flow i (the originator of the
+	// longest prefix matching the flow's destination address).
+	dest  []topo.RouterID
+	flows []topo.Flow
+}
+
+// Faithful reports whether the specification is expressible in the
+// shortest-path model: no SR policies, no static discards or
+// redistribution, and no multi-router ASes (whose iBGP/IGP interplay the
+// model cannot see). This is Table 1's QARC generality row.
+func Faithful(spec *config.Spec) bool {
+	for _, rc := range spec.Configs {
+		if len(rc.SRPolicies) > 0 || rc.RedistributeStatic || len(rc.Statics) > 0 {
+			return false
+		}
+		for _, nb := range rc.Neighbors {
+			if len(nb.ExportDeny) > 0 {
+				return false
+			}
+		}
+	}
+	counts := make(map[uint32]int)
+	for _, r := range spec.Net.Routers {
+		counts[r.AS]++
+		if counts[r.AS] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewModel builds the weighted-graph model. Flows whose destination
+// matches no originated prefix are dropped from the model.
+func NewModel(net *topo.Network, cfgs config.Configs, flows []topo.Flow) *Model {
+	type orig struct {
+		pfx netip.Prefix
+		r   topo.RouterID
+	}
+	var origins []orig
+	for name, rc := range cfgs {
+		r, ok := net.RouterByName(name)
+		if !ok {
+			continue
+		}
+		for _, pfx := range rc.Networks {
+			origins = append(origins, orig{pfx, r.ID})
+		}
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i].pfx.Bits() > origins[j].pfx.Bits() })
+	m := &Model{net: net}
+	for _, f := range flows {
+		found := false
+		for _, o := range origins {
+			if o.pfx.Contains(f.Dst) {
+				m.flows = append(m.flows, f)
+				m.dest = append(m.dest, o.r)
+				found = true
+				break
+			}
+		}
+		_ = found
+	}
+	return m
+}
+
+// Violation is one overload found by the search.
+type Violation struct {
+	Link        topo.DirLinkID
+	Value       float64
+	Limit       float64
+	FailedLinks []topo.LinkID
+}
+
+// Report is the outcome of a verification search.
+type Report struct {
+	Violations []Violation
+	Holds      bool
+	// Scenarios is the number of failure sets whose loads were evaluated.
+	Scenarios int
+	// Pruned is the number of subtree prunes taken by the search.
+	Pruned int
+	// TimedOut is set when the deadline expired mid-search.
+	TimedOut bool
+}
+
+// Options configures the search.
+type Options struct {
+	// OverloadFactor scales capacities (limit = factor × capacity).
+	OverloadFactor float64
+	// StopAtFirst halts at the first violation.
+	StopAtFirst bool
+	// Deadline, when nonzero, aborts the search once passed.
+	Deadline time.Time
+}
+
+// Verify searches all failure sets of at most k links for an overloaded
+// directed link under the shortest-path forwarding model.
+func (m *Model) Verify(k int, opts Options) *Report {
+	rep := &Report{}
+	if opts.OverloadFactor <= 0 {
+		opts.OverloadFactor = 1
+	}
+	down := make([]bool, m.net.NumLinks())
+	var chosen []topo.LinkID
+
+	var failable []topo.LinkID
+	for i := range m.net.Links {
+		if !m.net.Links[i].NoFail {
+			failable = append(failable, topo.LinkID(i))
+		}
+	}
+
+	var visit func(start, budget int) bool
+	visit = func(start, budget int) bool {
+		if !opts.Deadline.IsZero() && rep.Scenarios%64 == 0 && time.Now().After(opts.Deadline) {
+			rep.TimedOut = true
+			return false
+		}
+		load, touched := m.loads(down)
+		rep.Scenarios++
+		const eps = 1e-6
+		for dl, v := range load {
+			link := m.net.Link(dl.Link())
+			limit := link.Capacity * opts.OverloadFactor
+			if v > limit-eps {
+				rep.Violations = append(rep.Violations, Violation{
+					Link: dl, Value: v, Limit: limit,
+					FailedLinks: append([]topo.LinkID(nil), chosen...),
+				})
+				if opts.StopAtFirst {
+					return false
+				}
+			}
+		}
+		if budget == 0 {
+			return true
+		}
+		for i := start; i < len(failable); i++ {
+			l := failable[i]
+			// Branch-and-bound pruning: failing a link that carries no
+			// traffic in the current scenario cannot change any load
+			// beyond removing other chosen links first; the subtree
+			// rooted at {chosen + l} with further failures from
+			// untouched links only is explored anyway through other
+			// branches, so only prune the *leaf* case where l is the
+			// last allowed failure and is untouched.
+			if budget == 1 && !touched[l] {
+				rep.Pruned++
+				continue
+			}
+			down[l] = true
+			chosen = append(chosen, l)
+			ok := visit(i+1, budget-1)
+			chosen = chosen[:len(chosen)-1]
+			down[l] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	visit(0, k)
+	rep.Holds = len(rep.Violations) == 0
+	return rep
+}
+
+// loads computes per-directed-link loads under the given failed set using
+// shortest-path ECMP forwarding, and reports which undirected links carry
+// traffic.
+func (m *Model) loads(down []bool) (map[topo.DirLinkID]float64, map[topo.LinkID]bool) {
+	load := make(map[topo.DirLinkID]float64)
+	touched := make(map[topo.LinkID]bool)
+
+	// Group flows by destination router: one SPF per destination.
+	byDest := make(map[topo.RouterID][]int)
+	for i := range m.flows {
+		byDest[m.dest[i]] = append(byDest[m.dest[i]], i)
+	}
+	n := m.net.NumRouters()
+	for dest, flowIdx := range byDest {
+		dist := m.spf(dest, down)
+		// ECMP next hops per router.
+		nh := make([][]topo.DirLinkID, n)
+		for r := 0; r < n; r++ {
+			if topo.RouterID(r) == dest || dist[r] < 0 {
+				continue
+			}
+			for _, e := range m.net.Out(topo.RouterID(r)) {
+				if down[e.DirLink.Link()] {
+					continue
+				}
+				if dist[e.To] >= 0 && e.Cost+dist[e.To] == dist[r] {
+					nh[r] = append(nh[r], e.DirLink)
+				}
+			}
+		}
+		for _, fi := range flowIdx {
+			f := m.flows[fi]
+			if dist[f.Ingress] < 0 {
+				continue // unreachable: dropped
+			}
+			// Propagate fractions along the shortest-path DAG in
+			// decreasing-distance order.
+			frac := map[topo.RouterID]float64{f.Ingress: f.Gbps}
+			order := make([]topo.RouterID, 0, len(frac))
+			for r := range frac {
+				order = append(order, r)
+			}
+			// Simple worklist ordered by distance (monotonically
+			// decreasing along the DAG).
+			for len(order) > 0 {
+				sort.Slice(order, func(i, j int) bool { return dist[order[i]] > dist[order[j]] })
+				r := order[0]
+				order = order[1:]
+				v := frac[r]
+				delete(frac, r)
+				if r == dest || v == 0 {
+					continue
+				}
+				share := v / float64(len(nh[r]))
+				for _, dl := range nh[r] {
+					load[dl] += share
+					touched[dl.Link()] = true
+					to := m.net.Edge(dl).To
+					if _, ok := frac[to]; !ok {
+						order = append(order, to)
+					}
+					frac[to] += share
+				}
+			}
+		}
+	}
+	return load, touched
+}
+
+// spf runs Dijkstra toward dest on the alive graph (all links, all ASes —
+// the single weighted graph of the QARC model).
+func (m *Model) spf(dest topo.RouterID, down []bool) []int64 {
+	n := m.net.NumRouters()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	h := &pq{}
+	heap.Push(h, &pqItem{r: dest, d: 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(*pqItem)
+		if dist[it.r] >= 0 {
+			continue
+		}
+		dist[it.r] = it.d
+		for _, e := range m.net.In(it.r) {
+			if down[e.DirLink.Link()] || dist[e.From] >= 0 {
+				continue
+			}
+			heap.Push(h, &pqItem{r: e.From, d: it.d + e.Cost})
+		}
+	}
+	return dist
+}
+
+type pqItem struct {
+	r topo.RouterID
+	d int64
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(*pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}

@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Flow identifies all packets entering the network at one router with the
+// given source/destination addresses and DSCP value, carrying Gbps of
+// traffic — the paper's (intf, srcip, dstip, dscp) tuple plus volume V_f.
+type Flow struct {
+	// Name is an optional human-readable identifier.
+	Name string
+	// Ingress is the router where the flow enters the network.
+	Ingress RouterID
+	Src     netip.Addr
+	Dst     netip.Addr
+	DSCP    uint8
+	// Gbps is the flow's total traffic volume V_f.
+	Gbps float64
+}
+
+// String renders the flow for diagnostics.
+func (f Flow) String() string {
+	name := f.Name
+	if name == "" {
+		name = "flow"
+	}
+	return fmt.Sprintf("%s(%s→%s dscp=%d %.6gG)", name, f.Src, f.Dst, f.DSCP, f.Gbps)
+}
+
+// LoadBound is one entry of a traffic load property (TLP, §3.2): the
+// traffic on link Link must stay within [Min, Max] Gbps in every failure
+// scenario of degree at most k.
+type LoadBound struct {
+	Link LinkID
+	// Dir restricts the bound to one direction of the link when
+	// DirSpecified is true; otherwise both directions are bounded.
+	Dir          Direction
+	DirSpecified bool
+	Min, Max     float64
+}
+
+// DeliveredBound is a traffic load property on delivered traffic: the
+// total traffic delivered to destinations inside Prefix (i.e. reaching a
+// router that originates a covering prefix) must stay within [Min, Max] —
+// the paper's P1 ("traffic delivered to the destination should not drop
+// significantly") and the Figure 10 dropped-traffic use case.
+type DeliveredBound struct {
+	Prefix   netip.Prefix
+	Min, Max float64
+}
+
+// FailureMode selects which element class may fail in a verification run.
+type FailureMode int
+
+const (
+	// FailLinks considers link failures only (Fig 11, Fig 15, Table 4).
+	FailLinks FailureMode = iota
+	// FailRouters considers router failures only (Fig 17).
+	FailRouters
+	// FailBoth considers both element classes.
+	FailBoth
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case FailLinks:
+		return "links"
+	case FailRouters:
+		return "routers"
+	case FailBoth:
+		return "both"
+	}
+	return fmt.Sprintf("FailureMode(%d)", int(m))
+}

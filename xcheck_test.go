@@ -1,0 +1,66 @@
+package yu
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/yu-verify/yu/internal/flowgen"
+	"github.com/yu-verify/yu/internal/gen"
+)
+
+// TestXCheckWANEngines cross-validates YU against the enumerating
+// baseline on a WAN-style network with SR policies and iBGP: both engines
+// must flag exactly the same set of overloadable directed links, and YU
+// must be deterministic across runs.
+func TestXCheckWANEngines(t *testing.T) {
+	wan, err := gen.WAN(gen.WANSpec{Routers: 60, Links: 120, Prefixes: 30, SRPolicyFraction: 0.1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(wan, flowgen.RandomSpec{Count: 800, DSCP5Fraction: 0.3, MeanGbps: 14, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := FromSpec(wan)
+	linksOf := func(rep *Report) []string {
+		set := map[string]bool{}
+		for _, v := range rep.Violations {
+			set[n.Topology().DirLinkName(v.Link)] = true
+		}
+		var out []string
+		for l := range set {
+			out = append(out, l)
+		}
+		sort.Strings(out)
+		return out
+	}
+	yuRep, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 1.0, Flows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yuRep2, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 1.0, Flows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := linksOf(yuRep), linksOf(yuRep2)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	enumRep, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 1.0, Flows: flows, Engine: EngineEnumerate, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := linksOf(enumRep)
+	if len(a) != len(c) {
+		t.Fatalf("YU flags %d links %v\nenum flags %d links %v", len(a), a, len(c), c)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("flagged links differ: %v vs %v", a, c)
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("instance too easy: no violations to compare")
+	}
+	t.Logf("both engines flag %d links", len(a))
+}
