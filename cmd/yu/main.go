@@ -5,7 +5,7 @@
 //
 //	yu verify [-k N] [-mode links|routers|both] [-overload FACTOR]
 //	          [-engine yu|enumerate|spath] [-no-kreduce] [-no-equiv]
-//	          [-stats] spec.yu
+//	          [-workers N] [-stats] spec.yu
 //	yu show spec.yu
 //
 // The spec format is documented in the README (routers, links, config
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -59,6 +60,7 @@ func cmdVerify(args []string) {
 	engine := fs.String("engine", "yu", "engine: yu, enumerate, or spath")
 	noKReduce := fs.Bool("no-kreduce", false, "disable k-failure MTBDD reduction (ablation)")
 	noEquiv := fs.Bool("no-equiv", false, "disable flow equivalence reductions (ablation)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the yu engine (1 = sequential)")
 	stats := fs.Bool("stats", false, "print per-link statistics")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -76,6 +78,7 @@ func cmdVerify(args []string) {
 		DisableKReduce:        *noKReduce,
 		DisableLinkLocalEquiv: *noEquiv,
 		DisableGlobalEquiv:    *noEquiv,
+		Workers:               *workers,
 	}
 	switch *mode {
 	case "":
@@ -127,10 +130,14 @@ func cmdVerify(args []string) {
 			if n > 10 {
 				n = 10
 			}
-			fmt.Println("slowest links:")
+			fmt.Println("slowest checks:")
 			for _, s := range rep.LinkStats[:n] {
+				name := topoN.DirLinkName(s.Link)
+				if s.Kind == "delivered" {
+					name = "delivered " + s.Prefix.String()
+				}
 				fmt.Printf("  %-24s flows=%-6d classes=%-5d %v\n",
-					topoN.DirLinkName(s.Link), s.Flows, s.Classes, s.Elapsed)
+					name, s.Flows, s.Classes, s.Elapsed)
 			}
 		}
 	}

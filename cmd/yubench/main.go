@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|all
 //	        [-scale quick|full] [-baseline-budget 30s]
+//	        [-workers 1,2,4,8] [-json TAG]
 //
 // Quick scale finishes in minutes; full scale uses the paper's Table 3
 // router/link counts and can run for hours single-threaded. Baseline
 // engines (QARC-style search, Jingubang-style enumeration) are bounded by
 // -baseline-budget and report "> budget (timeout)" when exceeded, just as
 // the paper reports "> 3600" cells.
+//
+// The workers experiment sweeps the parallel pipeline's worker count on
+// the medium WAN case; -json TAG additionally writes the measurements to
+// BENCH_TAG.json for machine consumption.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/yu-verify/yu/internal/bench"
@@ -26,10 +33,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
+	jsonTag := flag.String("json", "", "write measurements to BENCH_<TAG>.json")
 	flag.Parse()
+
+	workersList, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	var scale bench.Scale
 	switch *scaleFlag {
@@ -41,7 +55,17 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
 	}
 
+	var records []bench.BenchRecord
+
 	runners := map[string]func() error{
+		"workers": func() error {
+			rs, err := bench.WorkersSweep(os.Stdout, scale, workersList)
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
 		"table1": func() error {
 			bench.Table1(os.Stdout, map[string]*config.Spec{
 				"motivating (SR+iBGP)": paperex.MustMotivating(),
@@ -56,7 +80,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -66,15 +90,43 @@ func main() {
 			}
 			fmt.Println()
 		}
-		return
+	} else {
+		run, ok := runners[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		if err := run(); err != nil {
+			fatal(err)
+		}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+
+	if *jsonTag != "" {
+		path := "BENCH_" + *jsonTag + ".json"
+		if err := bench.WriteBenchJSON(path, records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", path, len(records))
 	}
-	if err := run(); err != nil {
-		fatal(err)
+}
+
+// parseWorkers parses "1,2,4,8" into worker counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers value %q", part)
+		}
+		out = append(out, n)
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -92,8 +92,14 @@ type YURun struct {
 	LinkStats  []core.LinkCheckStat
 }
 
-// runYU executes the full YU pipeline.
+// runYU executes the full YU pipeline sequentially.
 func runYU(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, opts core.Options, overload float64) (*YURun, error) {
+	return runYUWorkers(spec, flows, k, mode, opts, overload, 1)
+}
+
+// runYUWorkers executes the full YU pipeline with the given parallelism
+// degree (1 = the exact legacy sequential path).
+func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, opts core.Options, overload float64, workers int) (*YURun, error) {
 	start := time.Now()
 	m := mtbdd.New()
 	budget := k
@@ -107,7 +113,7 @@ func runYU(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, o
 	}
 	routeTime := time.Since(start)
 	eng := core.NewEngine(rs, opts)
-	ver := core.NewVerifier(eng, flows)
+	ver := core.NewParallelVerifier(eng, flows, workers)
 	rep := ver.Run(nil, nil, overload)
 	return &YURun{
 		Elapsed:    time.Since(start),

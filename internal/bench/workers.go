@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// BenchRecord is one machine-readable measurement emitted into
+// BENCH_<tag>.json so the performance trajectory across PRs is trackable.
+type BenchRecord struct {
+	Experiment string  `json:"experiment"`
+	Case       string  `json:"case"`
+	K          int     `json:"k"`
+	Mode       string  `json:"mode"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	RouteSimMS float64 `json:"route_sim_ms"`
+	// PeakUniqueNodes is the primary manager's peak unique-table size.
+	// Shard managers are private and excluded: with workers>1 the
+	// execution intermediates live in shards, so this measures what the
+	// merged STFs and the checking phase cost the primary table.
+	PeakUniqueNodes int `json:"peak_unique_nodes"`
+	FlowsExecuted   int `json:"flows_executed"`
+	Violations      int `json:"violations"`
+	// Speedup is wall time at workers=1 divided by this record's wall
+	// time (1.0 for the workers=1 row itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// WriteBenchJSON writes records as indented JSON to path.
+func WriteBenchJSON(path string, records []BenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WorkersSweep measures end-to-end verification wall time on the medium
+// WAN case across worker counts: the scaling experiment for the parallel
+// pipeline (sharded execution + concurrent link checking). workers=1 runs
+// the exact legacy sequential path, so its row doubles as the regression
+// baseline.
+//
+// Single-run efficiency is the paper's claim; this sweep is ours: with P
+// workers the flow shards and the per-link checks run on P private MTBDD
+// managers, and the speedup column shows how far that carries on the
+// current host. On a single-core host (GOMAXPROCS=1) expect ~1.0×: the
+// pipeline adds sharding and import overhead but no extra cores to spend
+// it on.
+func WorkersSweep(w io.Writer, scale Scale, workersList []int) ([]BenchRecord, error) {
+	c := wanCases(scale)[1] // N1: the medium WAN
+	spec, flows, err := buildWAN(c)
+	if err != nil {
+		return nil, err
+	}
+	k := c.ks[0]
+	fmt.Fprintf(w, "Workers sweep: %s (%d routers, %d links), %d flows, k=%d link failures\n",
+		c.name, spec.Net.NumRouters(), spec.Net.NumLinks(), len(flows), k)
+	fmt.Fprintf(w, "%-8s %14s %14s %12s %10s %9s\n",
+		"workers", "wall", "routesim", "exec'd", "nodes", "speedup")
+	var records []BenchRecord
+	var base time.Duration
+	for _, workers := range workersList {
+		run, err := runYUWorkers(spec, flows, k, topo.FailLinks, core.Options{}, 1.0, workers)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = run.Elapsed
+		}
+		speedup := float64(base) / float64(run.Elapsed)
+		records = append(records, BenchRecord{
+			Experiment:      "workers",
+			Case:            c.name,
+			K:               k,
+			Mode:            topo.FailLinks.String(),
+			Workers:         workers,
+			WallMS:          float64(run.Elapsed.Microseconds()) / 1000,
+			RouteSimMS:      float64(run.RouteTime.Microseconds()) / 1000,
+			PeakUniqueNodes: run.MTBDDNodes,
+			FlowsExecuted:   run.Executed,
+			Violations:      run.Violations,
+			Speedup:         speedup,
+		})
+		fmt.Fprintf(w, "%-8d %14s %14s %12d %10d %8.2fx\n",
+			workers, fmtDur(run.Elapsed, false), fmtDur(run.RouteTime, false),
+			run.Executed, run.MTBDDNodes, speedup)
+	}
+	return records, nil
+}

@@ -13,9 +13,9 @@
 package core
 
 import (
-	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/yu-verify/yu/internal/mtbdd"
@@ -160,7 +160,8 @@ func (c *classifier) classOf(addr netip.Addr) int {
 	for _, pfx := range c.prefixes {
 		if pfx.Contains(addr) {
 			matched = append(matched, pfx)
-			fmt.Fprintf(&sb, "%s;", pfx)
+			sb.WriteString(pfx.String())
+			sb.WriteByte(';')
 		}
 	}
 	key := sb.String()
@@ -187,11 +188,14 @@ func (s stack) key() string {
 	if len(s) == 0 {
 		return ""
 	}
-	var sb strings.Builder
+	// Allocation-light: one append-built buffer instead of per-segment
+	// Fprintf; this runs once per wavefront cell per iteration.
+	buf := make([]byte, 0, 4*len(s))
 	for _, r := range s {
-		fmt.Fprintf(&sb, "%d,", r)
+		buf = strconv.AppendInt(buf, int64(r), 10)
+		buf = append(buf, ',')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // outKey addresses one cell of the paper's matrix M: a directed link and

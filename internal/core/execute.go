@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -39,6 +41,41 @@ type inVal struct {
 	omega *mtbdd.Node
 }
 
+// sortedFront returns the wavefront keys in (router, stackKey) order.
+// Float MTBDD addition is not associative, so accumulating cells in map
+// iteration order would make results vary run to run; a fixed order keeps
+// every STF bit-for-bit reproducible — and identical across the sequential
+// and sharded execution paths.
+func sortedFront(front map[inKey]inVal) []inKey {
+	keys := make([]inKey, 0, len(front))
+	for k := range front {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].router != keys[j].router {
+			return keys[i].router < keys[j].router
+		}
+		return keys[i].stackKey < keys[j].stackKey
+	})
+	return keys
+}
+
+// sortedOut returns a step's output keys in (link, stackKey) order, for
+// the same reproducibility reason as sortedFront.
+func sortedOut(out map[outKey]stepOut) []outKey {
+	keys := make([]outKey, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].link != keys[j].link {
+			return keys[i].link < keys[j].link
+		}
+		return keys[i].stackKey < keys[j].stackKey
+	})
+	return keys
+}
+
 // ExecuteFlow symbolically executes the forwarding of one flow under all
 // failure scenarios (Algorithm 1). Iterations propagate a traffic
 // wavefront hop by hop; per-link fractions accumulate, so the result is
@@ -67,7 +104,8 @@ func (e *Engine) ExecuteFlow(f topo.Flow) *FlowSTF {
 	for len(front) > 0 && iter < e.maxIter {
 		iter++
 		next := make(map[inKey]inVal)
-		for k, in := range front {
+		for _, k := range sortedFront(front) {
+			in := front[k]
 			var st *step
 			if len(in.stack) == 0 {
 				st = e.forwardIp(k.router, class, f.DSCP)
@@ -80,7 +118,8 @@ func (e *Engine) ExecuteFlow(f topo.Flow) *FlowSTF {
 			if st.dropped != m.Zero() {
 				res.Dropped = fv.Reduce(m.Add(res.Dropped, m.Mul(in.omega, st.dropped)))
 			}
-			for ok2, o := range st.out {
+			for _, ok2 := range sortedOut(st.out) {
+				o := st.out[ok2]
 				t := fv.Reduce(m.Mul(in.omega, o.frac))
 				if t == m.Zero() {
 					continue
@@ -103,8 +142,8 @@ func (e *Engine) ExecuteFlow(f topo.Flow) *FlowSTF {
 		front = next
 	}
 	res.Iterations = iter
-	for _, in := range front {
-		res.InFlight = fv.Reduce(m.Add(res.InFlight, in.omega))
+	for _, k := range sortedFront(front) {
+		res.InFlight = fv.Reduce(m.Add(res.InFlight, front[k].omega))
 	}
 	return res
 }

@@ -1,0 +1,378 @@
+// Parallel verification pipeline: sharded symbolic execution and
+// concurrent per-link checking.
+//
+// mtbdd.Manager is single-threaded by design, so parallelism comes from
+// partitioning the work across private managers instead of locking one:
+//
+//   - Execution: merged flows are split into contiguous shards, one per
+//     worker. Each worker builds its own Manager + FailVars (NewFailVars
+//     is deterministic, so every shard has the identical variable order),
+//     imports the guarded RIBs with routesim.ImportInto, and runs
+//     ExecuteFlow with per-worker managed GC. ExecuteFlow iterates its
+//     wavefront in sorted order, so a shard computes bit-for-bit the same
+//     STF the sequential path would.
+//   - Merge: the primary manager re-imports every shard STF
+//     (mtbdd.Import). Hash-consing makes equal functions from different
+//     shards collapse to the same *Node, restoring the pointer-equality
+//     invariant the §5.3 link-local equivalence grouping relies on.
+//   - Checking: CheckOverloadAll fans the directed links out over a pool
+//     of shard checkers, each with a private Manager into which it imports
+//     just the STFs present on the link at hand. Results are accumulated
+//     in the network's link order, so the Report is identical (modulo
+//     per-check Elapsed timings) to a sequential run.
+//
+// workers <= 1 bypasses all of this and is the exact legacy code path.
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// shardGCThreshold is the live-node count that triggers a shard-local GC
+// in a link-check worker. Nothing is retained across links, so the roots
+// are empty and the collection is cheap.
+const shardGCThreshold = 1 << 20
+
+// NewParallelVerifier executes the flows like NewVerifier but shards the
+// symbolic execution across the given number of workers, and returns a
+// Verifier whose CheckOverloadAll fans links out over the same number of
+// workers. workers <= 1 falls back to the sequential NewVerifier.
+//
+// The parallel and sequential paths produce identical Reports: execution
+// is deterministic per flow, the merge restores canonical node identity in
+// the primary manager, and checking accumulates results in link order.
+func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
+	if workers <= 1 {
+		return NewVerifier(e, flows)
+	}
+	v := &Verifier{e: e, flows: flows, workers: workers}
+	merged := mergeFlows(e, flows)
+	v.execCount = len(merged)
+	if len(merged) == 0 {
+		return v
+	}
+	shards := workers
+	if shards > len(merged) {
+		shards = len(merged)
+	}
+
+	// Divide the managed-GC budget among the shards so peak memory stays
+	// in the same ballpark as a sequential run.
+	wopts := e.opts
+	if wopts.GCThreshold <= 0 {
+		wopts.GCThreshold = defaultGCThreshold
+	}
+	wopts.GCThreshold /= shards
+	if wopts.GCThreshold < 1<<18 {
+		wopts.GCThreshold = 1 << 18
+	}
+
+	stfs := make([]*FlowSTF, len(merged))
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * len(merged) / shards
+		hi := (w + 1) * len(merged) / shards
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Private manager with the same variable order; the guarded
+			// RIBs are imported, never shared. The primary manager is
+			// only read (node fields are immutable), which is safe while
+			// the main goroutine blocks in Wait.
+			mW := mtbdd.New()
+			fvW := routesim.NewFailVars(mW, e.net, e.fv.Mode, e.fv.K)
+			engW := NewEngine(e.rs.ImportInto(fvW), wopts)
+			local := make([]*FlowSTF, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				s := engW.ExecuteFlow(merged[i])
+				local = append(local, s)
+				stfs[i] = s
+				engW.maybeGC(local, nil)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Merge: rebuild every shard STF in the primary manager, in execution
+	// order, garbage-collecting as the unique table fills.
+	v.stfs = make([]*FlowSTF, len(merged))
+	for i, s := range stfs {
+		v.stfs[i] = importSTF(e.m, s)
+		e.maybeGC(v.stfs[:i+1], nil)
+	}
+	return v
+}
+
+// importSTF rebuilds a shard-owned FlowSTF in the manager m.
+func importSTF(m *mtbdd.Manager, s *FlowSTF) *FlowSTF {
+	out := &FlowSTF{
+		Flow:       s.Flow,
+		Links:      make(map[topo.DirLinkID]*mtbdd.Node, len(s.Links)),
+		Delivered:  m.Import(s.Delivered),
+		Dropped:    m.Import(s.Dropped),
+		InFlight:   m.Import(s.InFlight),
+		Iterations: s.Iterations,
+	}
+	for l, w := range s.Links {
+		out.Links[l] = m.Import(w)
+	}
+	return out
+}
+
+// checkOverloadAllParallel is the concurrent counterpart of
+// CheckOverloadAll: directed links are distributed over a worker pool via
+// an atomic cursor, every worker checks links in a private shard manager,
+// and per-link results are written into a slot array so the final
+// accumulation order — and therefore the Report — matches the sequential
+// path exactly.
+func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) {
+	net := v.e.net
+	type job struct {
+		l     topo.DirLinkID
+		limit float64
+	}
+	jobs := make([]job, 0, 2*net.NumLinks())
+	for li := 0; li < net.NumLinks(); li++ {
+		link := net.Link(topo.LinkID(li))
+		limit := link.Capacity * factor
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			jobs = append(jobs, job{topo.MakeDirLinkID(link.ID, d), limit})
+		}
+	}
+	type linkRes struct {
+		stat  LinkCheckStat
+		viols []Violation
+	}
+	results := make([]linkRes, len(jobs))
+	workers := v.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := newShardChecker(v)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				stat, viols := c.checkLink(jobs[i].l, jobs[i].limit)
+				results[i] = linkRes{stat, viols}
+				c.maybeGC()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		rep.LinkStats = append(rep.LinkStats, results[i].stat)
+		rep.Violations = append(rep.Violations, results[i].viols...)
+	}
+}
+
+// shardChecker checks directed links in a private manager. It imports the
+// STFs present on each link on demand (memoized by the manager's import
+// cache) and mirrors the sequential checkOverloadPruned / LinkLoad logic
+// operation for operation, so its verdicts and values are identical.
+type shardChecker struct {
+	v  *Verifier
+	m  *mtbdd.Manager
+	fv *routesim.FailVars
+}
+
+func newShardChecker(v *Verifier) *shardChecker {
+	m := mtbdd.New()
+	fv := routesim.NewFailVars(m, v.e.net, v.e.fv.Mode, v.e.fv.K)
+	return &shardChecker{v: v, m: m, fv: fv}
+}
+
+// maybeGC collects the shard manager between links. Nothing survives a
+// link check, so the root set is empty (the import memo is dropped with
+// the other caches and rebuilt on demand).
+func (c *shardChecker) maybeGC() {
+	if c.m.Stats().Live > shardGCThreshold {
+		c.m.GC(nil)
+	}
+}
+
+func (c *shardChecker) checkRange(tau *mtbdd.Node, min, max float64) (mtbdd.Assignment, float64, bool) {
+	if c.v.e.opts.CheckK > 0 {
+		tau = c.m.KReduce(tau, c.v.e.opts.CheckK)
+	}
+	lo := min - loadEpsilon
+	hi := max + loadEpsilon
+	if math.IsInf(max, 1) {
+		hi = math.Inf(1)
+	}
+	return c.m.WitnessOutside(tau, lo, hi)
+}
+
+// checkLink verifies one directed link against an upper limit and returns
+// its stat and any violations, without touching the primary manager.
+func (c *shardChecker) checkLink(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
+	if c.v.e.opts.DisableEarlyTermination {
+		return c.checkLinkFull(l, limit)
+	}
+	return c.checkLinkPruned(l, limit)
+}
+
+// checkLinkFull mirrors the sequential LinkLoad + checkRange pair used
+// when early termination is disabled.
+func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
+	start := time.Now()
+	m, fv := c.m, c.fv
+	stat := LinkCheckStat{Link: l}
+	tau := m.Zero()
+	if c.v.e.opts.DisableLinkLocalEquiv {
+		for _, s := range c.v.stfs {
+			w, ok := s.Links[l]
+			if !ok {
+				continue
+			}
+			stat.Flows++
+			stat.Classes++
+			tau = fv.Reduce(m.Add(tau, m.Scale(s.Flow.Gbps, m.Import(w))))
+		}
+	} else {
+		// Group by the primary manager's canonical pointer, first-seen
+		// order — the same classes, in the same order, as sequential.
+		idx := make(map[*mtbdd.Node]int)
+		var order []*mtbdd.Node
+		vols := make([]float64, 0, 8)
+		for _, s := range c.v.stfs {
+			w, ok := s.Links[l]
+			if !ok {
+				continue
+			}
+			stat.Flows++
+			if i, ok := idx[w]; ok {
+				vols[i] += s.Flow.Gbps
+			} else {
+				idx[w] = len(order)
+				order = append(order, w)
+				vols = append(vols, s.Flow.Gbps)
+			}
+		}
+		stat.Classes = len(order)
+		for i, w := range order {
+			tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], m.Import(w))))
+		}
+	}
+	stat.Elapsed = time.Since(start)
+	var viols []Violation
+	if a, val, bad := c.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
+		links, routers := scenarioWitness(c.fv, a)
+		viols = append(viols, Violation{
+			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
+			FailedLinks: links, FailedRouters: routers,
+		})
+	}
+	return stat, viols
+}
+
+// checkLinkPruned mirrors the sequential checkOverloadPruned: quick bound,
+// descending-contribution aggregation with early stop, and exact witness
+// recomputation.
+func (c *shardChecker) checkLinkPruned(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
+	start := time.Now()
+	m, fv := c.m, c.fv
+	stat := LinkCheckStat{Link: l}
+
+	type cls struct {
+		w   *mtbdd.Node // imported into the shard manager
+		vol float64
+		max float64
+	}
+	var classes []cls
+	if c.v.e.opts.DisableLinkLocalEquiv {
+		for _, s := range c.v.stfs {
+			if w, ok := s.Links[l]; ok {
+				stat.Flows++
+				lw := m.Import(w)
+				_, hi := m.Range(lw)
+				classes = append(classes, cls{lw, s.Flow.Gbps, hi})
+			}
+		}
+		stat.Classes = len(classes)
+	} else {
+		// First-seen order keyed by the primary canonical pointer; the
+		// import is injective on canonical nodes, so the grouping is the
+		// same as sequential.
+		idx := make(map[*mtbdd.Node]int)
+		for _, s := range c.v.stfs {
+			if w, ok := s.Links[l]; ok {
+				stat.Flows++
+				if i, ok := idx[w]; ok {
+					classes[i].vol += s.Flow.Gbps
+				} else {
+					idx[w] = len(classes)
+					classes = append(classes, cls{w: m.Import(w), vol: s.Flow.Gbps})
+				}
+			}
+		}
+		for i := range classes {
+			_, hi := m.Range(classes[i].w)
+			classes[i].max = hi
+		}
+		stat.Classes = len(classes)
+	}
+
+	violThreshold := limit - loadEpsilon
+
+	total := 0.0
+	for _, cl := range classes {
+		total += cl.vol * cl.max
+	}
+	if total <= violThreshold {
+		stat.Elapsed = time.Since(start)
+		return stat, nil
+	}
+
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].vol*classes[i].max > classes[j].vol*classes[j].max })
+	remaining := total
+	tau := m.Zero()
+	for _, cl := range classes {
+		tau = fv.Reduce(m.Add(tau, m.Scale(cl.vol, cl.w)))
+		remaining -= cl.vol * cl.max
+		_, hi := m.Range(tau)
+		if hi > violThreshold {
+			break
+		}
+		if hi+remaining <= violThreshold {
+			stat.Elapsed = time.Since(start)
+			return stat, nil
+		}
+	}
+	stat.Elapsed = time.Since(start)
+	var viols []Violation
+	if a, val, bad := c.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
+		links, routers := scenarioWitness(c.fv, a)
+		assign := c.fv.Scenario(links, routers)
+		exact := 0.0
+		for _, cl := range classes {
+			exact += cl.vol * m.Eval(cl.w, assign)
+		}
+		if exact > val {
+			val = exact
+		}
+		viols = append(viols, Violation{
+			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
+			FailedLinks: links, FailedRouters: routers,
+		})
+	}
+	return stat, viols
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/flowgen"
+	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// buildEngine runs route simulation on a fresh manager and returns an
+// engine, so sequential and parallel runs never share MTBDD state.
+func buildEngine(t testing.TB, spec *config.Spec, mode topo.FailureMode, k int, opts Options) *Engine {
+	t.Helper()
+	m := mtbdd.New()
+	fv := routesim.NewFailVars(m, spec.Net, mode, k)
+	rs, err := routesim.Run(fv, spec.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(rs, opts)
+}
+
+// normalizeReport zeroes the wall-clock fields, which are the only part of
+// a Report allowed to differ between sequential and parallel runs.
+func normalizeReport(rep *Report) {
+	for i := range rep.LinkStats {
+		rep.LinkStats[i].Elapsed = 0
+	}
+}
+
+func reportsEqual(t *testing.T, name string, seq, par *Report) {
+	t.Helper()
+	normalizeReport(seq)
+	normalizeReport(par)
+	if seq.Holds != par.Holds {
+		t.Fatalf("%s: Holds %v (sequential) vs %v (parallel)", name, seq.Holds, par.Holds)
+	}
+	if seq.FlowsExecuted != par.FlowsExecuted || seq.FlowsTotal != par.FlowsTotal {
+		t.Fatalf("%s: flow counts (%d,%d) vs (%d,%d)", name,
+			seq.FlowsExecuted, seq.FlowsTotal, par.FlowsExecuted, par.FlowsTotal)
+	}
+	if len(seq.Violations) != len(par.Violations) {
+		t.Fatalf("%s: %d violations (sequential) vs %d (parallel)", name, len(seq.Violations), len(par.Violations))
+	}
+	for i := range seq.Violations {
+		a, b := seq.Violations[i], par.Violations[i]
+		if a.Kind != b.Kind || a.Link != b.Link || a.Prefix != b.Prefix ||
+			a.Value != b.Value || a.Min != b.Min || a.Max != b.Max {
+			t.Fatalf("%s: violation %d differs:\n  sequential: %+v\n  parallel:   %+v", name, i, a, b)
+		}
+		if len(a.FailedLinks) != len(b.FailedLinks) || len(a.FailedRouters) != len(b.FailedRouters) {
+			t.Fatalf("%s: violation %d witness differs: %+v vs %+v", name, i, a, b)
+		}
+		for j := range a.FailedLinks {
+			if a.FailedLinks[j] != b.FailedLinks[j] {
+				t.Fatalf("%s: violation %d witness link %d differs", name, i, j)
+			}
+		}
+		for j := range a.FailedRouters {
+			if a.FailedRouters[j] != b.FailedRouters[j] {
+				t.Fatalf("%s: violation %d witness router %d differs", name, i, j)
+			}
+		}
+	}
+	if len(seq.LinkStats) != len(par.LinkStats) {
+		t.Fatalf("%s: %d link stats (sequential) vs %d (parallel)", name, len(seq.LinkStats), len(par.LinkStats))
+	}
+	for i := range seq.LinkStats {
+		if seq.LinkStats[i] != par.LinkStats[i] {
+			t.Fatalf("%s: link stat %d differs:\n  sequential: %+v\n  parallel:   %+v",
+				name, i, seq.LinkStats[i], par.LinkStats[i])
+		}
+	}
+}
+
+// runBoth verifies the same workload sequentially and with 4 workers and
+// requires identical Reports.
+func runBoth(t *testing.T, name string, spec *config.Spec, flows []topo.Flow, mode topo.FailureMode, k int, opts Options, overload float64, delivered []topo.DeliveredBound) {
+	t.Helper()
+	seqEng := buildEngine(t, spec, mode, k, opts)
+	seq := NewVerifier(seqEng, flows).Run(spec.Props, delivered, overload)
+
+	parEng := buildEngine(t, spec, mode, k, opts)
+	par := NewParallelVerifier(parEng, flows, 4).Run(spec.Props, delivered, overload)
+
+	reportsEqual(t, name, seq, par)
+}
+
+// TestParallelMatchesSequentialFatTree checks the determinism guarantee on
+// the FT-4 fixture: a parallel run (4 workers) produces exactly the
+// sequential Report, violations and per-link stats included.
+func TestParallelMatchesSequentialFatTree(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 5, 9.0/56.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, "fattree", spec, flows, topo.FailLinks, 2, Options{}, 1.0, nil)
+}
+
+// TestParallelMatchesSequentialWAN checks the guarantee on a WAN fixture,
+// including a delivered bound and a tight overload factor that produces
+// violations.
+func TestParallelMatchesSequentialWAN(t *testing.T) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 40, Links: 80, Prefixes: 12, SRPolicyFraction: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{
+		Count: 600, DSCP5Fraction: 0.3, DistinctDstPerPrefix: 3, Seed: 142,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := []topo.DeliveredBound{{
+		Prefix: netip.MustParsePrefix("0.0.0.0/0"), Min: 0, Max: 1e12,
+	}}
+	runBoth(t, "wan", spec, flows, topo.FailLinks, 1, Options{}, 0.5, delivered)
+	runBoth(t, "wan-noearly", spec, flows, topo.FailLinks, 1, Options{DisableEarlyTermination: true}, 0.5, nil)
+}
+
+// TestParallelExecutionSharding checks that sharded execution with merge
+// reproduces the sequential STFs node for node in the primary manager.
+func TestParallelExecutionSharding(t *testing.T) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 30, Links: 60, Prefixes: 8, SRPolicyFraction: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{
+		Count: 200, DSCP5Fraction: 0.3, DistinctDstPerPrefix: 2, Seed: 105,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildEngine(t, spec, topo.FailLinks, 1, Options{})
+	seq := NewVerifier(eng, flows)
+	// The parallel verifier shares eng's manager: its imported STFs must
+	// be pointer-identical to the sequentially executed ones.
+	par := NewParallelVerifier(eng, flows, 3)
+	if len(seq.FlowSTFs()) != len(par.FlowSTFs()) {
+		t.Fatalf("%d sequential STFs vs %d parallel", len(seq.FlowSTFs()), len(par.FlowSTFs()))
+	}
+	for i, a := range seq.FlowSTFs() {
+		b := par.FlowSTFs()[i]
+		if a.Delivered != b.Delivered || a.Dropped != b.Dropped || a.InFlight != b.InFlight {
+			t.Fatalf("STF %d: delivered/dropped/in-flight nodes differ", i)
+		}
+		if len(a.Links) != len(b.Links) {
+			t.Fatalf("STF %d: %d links vs %d", i, len(a.Links), len(b.Links))
+		}
+		for l, w := range a.Links {
+			if b.Links[l] != w {
+				t.Fatalf("STF %d: link %d node differs (pointer identity lost in merge)", i, l)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerFloor checks the degenerate worker counts fall back to
+// the sequential path.
+func TestParallelWorkerFloor(t *testing.T) {
+	spec, err := config.ParseSpecString(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 1} {
+		eng := buildEngine(t, spec, topo.FailLinks, 1, Options{})
+		v := NewParallelVerifier(eng, spec.Flows, w)
+		if v.workers != 1 {
+			t.Fatalf("workers=%d should use the sequential path", w)
+		}
+		rep := v.Run(nil, nil, 1.0)
+		if rep.FlowsTotal != len(spec.Flows) {
+			t.Fatalf("unexpected flow count %d", rep.FlowsTotal)
+		}
+	}
+}
+
+const tinySpec = `
+router a as 65001 loopback 10.0.0.1
+router b as 65001 loopback 10.0.0.2
+link a b cost 10 capacity 100
+
+auto-bgp-mesh
+
+config a
+  network 192.168.1.0/24
+config b
+  network 192.168.2.0/24
+
+flow f1 ingress a src 192.168.1.5 dst 192.168.2.5 gbps 10
+failures k 1 mode links
+`

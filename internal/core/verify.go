@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -61,16 +62,24 @@ func (v *Violation) Describe(net *topo.Network) string {
 	return sb.String()
 }
 
-// LinkCheckStat records per-link verification effort, the data behind the
-// paper's Figures 13 and 14.
+// LinkCheckStat records per-check verification effort, the data behind
+// the paper's Figures 13 and 14. Most entries describe a directed-link
+// load check; delivered-bound checks are recorded too (Kind "delivered"),
+// so benchmark figures cover both property kinds.
 type LinkCheckStat struct {
+	// Kind is "" for a link-load check (the common case) or "delivered"
+	// for a delivered-traffic bound.
+	Kind string
 	Link topo.DirLinkID
-	// Flows is the number of flows with nonzero traffic on the link.
+	// Prefix is the destination prefix of a delivered-bound check.
+	Prefix netip.Prefix
+	// Flows is the number of flows with nonzero traffic on the link (or,
+	// for delivered checks, destined inside the prefix).
 	Flows int
 	// Classes is the number of link-local equivalence classes among them
 	// (equals Flows when the reduction is disabled).
 	Classes int
-	// Elapsed is the time spent aggregating and checking the link.
+	// Elapsed is the time spent aggregating and checking.
 	Elapsed time.Duration
 }
 
@@ -97,43 +106,48 @@ type Verifier struct {
 	stfs  []*FlowSTF
 	// execCount is the number of ExecuteFlow calls (post global-equiv).
 	execCount int
+	// workers > 1 enables the concurrent link-checking pool (see
+	// CheckOverloadAll); 1 (or 0) is the exact sequential legacy path.
+	workers int
+}
+
+// mergeFlows applies global flow equivalence (§6): flows entering at the
+// same router with the same destination class and DSCP forward identically
+// in every scenario, so one representative with the summed volume is
+// executed per group. The merged flows are returned in first-seen order —
+// the deterministic execution order shared by the sequential and parallel
+// pipelines. When the optimization is disabled, the input is returned
+// unchanged.
+func mergeFlows(e *Engine, flows []topo.Flow) []topo.Flow {
+	if e.opts.DisableGlobalEquiv {
+		return flows
+	}
+	type gkey struct {
+		ingress topo.RouterID
+		class   int
+		dscp    uint8
+	}
+	groups := make(map[gkey]int)
+	merged := make([]topo.Flow, 0, len(flows))
+	for _, f := range flows {
+		k := gkey{f.Ingress, e.classifier.classOf(f.Dst), f.DSCP}
+		if i, ok := groups[k]; ok {
+			merged[i].Gbps += f.Gbps
+		} else {
+			groups[k] = len(merged)
+			merged = append(merged, f)
+		}
+	}
+	return merged
 }
 
 // NewVerifier executes all flows symbolically (applying global flow
 // equivalence unless disabled) and returns a Verifier ready to check
 // properties.
 func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
-	v := &Verifier{e: e, flows: flows}
-	if e.opts.DisableGlobalEquiv {
-		for _, f := range flows {
-			v.stfs = append(v.stfs, e.ExecuteFlow(f))
-			v.execCount++
-			e.maybeGC(v.stfs, nil)
-		}
-		return v
-	}
-	// Global flow equivalence (§6): flows entering at the same router
-	// with the same destination class and DSCP forward identically in
-	// every scenario; execute one representative with the summed volume.
-	type gkey struct {
-		ingress topo.RouterID
-		class   int
-		dscp    uint8
-	}
-	groups := make(map[gkey]*topo.Flow)
-	var order []gkey
-	for _, f := range flows {
-		k := gkey{f.Ingress, e.classifier.classOf(f.Dst), f.DSCP}
-		if g, ok := groups[k]; ok {
-			g.Gbps += f.Gbps
-		} else {
-			ff := f
-			groups[k] = &ff
-			order = append(order, k)
-		}
-	}
-	for _, k := range order {
-		v.stfs = append(v.stfs, e.ExecuteFlow(*groups[k]))
+	v := &Verifier{e: e, flows: flows, workers: 1}
+	for _, f := range mergeFlows(e, flows) {
+		v.stfs = append(v.stfs, e.ExecuteFlow(f))
 		v.execCount++
 		e.maybeGC(v.stfs, nil)
 	}
@@ -197,9 +211,12 @@ func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
 }
 
 // DeliveredLoad computes the symbolic delivered traffic for all flows
-// whose destination is inside pfx.
-func (v *Verifier) DeliveredLoad(pfx netip.Prefix) *mtbdd.Node {
+// whose destination is inside pfx, along with a check stat (Kind
+// "delivered") recording aggregation effort and timing.
+func (v *Verifier) DeliveredLoad(pfx netip.Prefix) (*mtbdd.Node, LinkCheckStat) {
+	start := time.Now()
 	m, fv := v.e.m, v.e.fv
+	stat := LinkCheckStat{Kind: "delivered", Prefix: pfx}
 	idx := make(map[*mtbdd.Node]int)
 	var order []*mtbdd.Node
 	var vols []float64
@@ -207,6 +224,7 @@ func (v *Verifier) DeliveredLoad(pfx netip.Prefix) *mtbdd.Node {
 		if !pfx.Contains(s.Flow.Dst) {
 			continue
 		}
+		stat.Flows++
 		if i, ok := idx[s.Delivered]; ok {
 			vols[i] += s.Flow.Gbps
 		} else {
@@ -215,11 +233,13 @@ func (v *Verifier) DeliveredLoad(pfx netip.Prefix) *mtbdd.Node {
 			vols = append(vols, s.Flow.Gbps)
 		}
 	}
+	stat.Classes = len(order)
 	tau := m.Zero()
 	for i, w := range order {
 		tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], w)))
 	}
-	return tau
+	stat.Elapsed = time.Since(start)
+	return tau, stat
 }
 
 // loadEpsilon absorbs floating-point noise from ECMP fraction arithmetic
@@ -241,8 +261,15 @@ func (v *Verifier) checkRange(tau *mtbdd.Node, min, max float64) (mtbdd.Assignme
 }
 
 func (v *Verifier) witness(a mtbdd.Assignment) (links []topo.LinkID, routers []topo.RouterID) {
+	return scenarioWitness(v.e.fv, a)
+}
+
+// scenarioWitness converts a violating assignment into sorted failed
+// link/router lists using any FailVars with the canonical variable layout
+// (the primary one or a shard's — they are identical by construction).
+func scenarioWitness(fv *routesim.FailVars, a mtbdd.Assignment) (links []topo.LinkID, routers []topo.RouterID) {
 	for _, fvar := range a.FailedVars() {
-		if l, r, isLink := v.e.fv.VarElement(fvar); isLink {
+		if l, r, isLink := fv.VarElement(fvar); isLink {
 			links = append(links, l)
 		} else {
 			routers = append(routers, r)
@@ -297,7 +324,8 @@ func (v *Verifier) CheckBound(b topo.LoadBound, rep *Report) {
 
 // CheckDelivered verifies one delivered-traffic bound.
 func (v *Verifier) CheckDelivered(b topo.DeliveredBound, rep *Report) {
-	tau := v.DeliveredLoad(b.Prefix)
+	tau, stat := v.DeliveredLoad(b.Prefix)
+	rep.LinkStats = append(rep.LinkStats, stat)
 	if a, val, bad := v.checkRange(tau, b.Min, b.Max); bad {
 		links, routers := v.witness(a)
 		rep.Violations = append(rep.Violations, Violation{
@@ -319,6 +347,10 @@ func (v *Verifier) CheckDelivered(b topo.DeliveredBound, rep *Report) {
 // the accumulated maximum proves a violation (loads are non-negative, so
 // partial sums only grow) or the remaining mass cannot reach the limit.
 func (v *Verifier) CheckOverloadAll(factor float64, rep *Report) {
+	if v.workers > 1 {
+		v.checkOverloadAllParallel(factor, rep)
+		return
+	}
 	net := v.e.net
 	for li := 0; li < net.NumLinks(); li++ {
 		link := net.Link(topo.LinkID(li))

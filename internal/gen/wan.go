@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/topo"
@@ -166,11 +167,21 @@ func WAN(ws WANSpec) (*config.Spec, error) {
 	return &config.Spec{Net: net, Configs: cfgs, K: 1, Mode: topo.FailLinks}, nil
 }
 
-// Prefixes lists every prefix originated anywhere in the spec.
+// Prefixes lists every prefix originated anywhere in the spec, in a
+// fixed order. Configs is a map; without the sort the list order — and
+// any workload drawn from it with a seeded RNG — would change from one
+// process to the next.
 func Prefixes(spec *config.Spec) []netip.Prefix {
 	var out []netip.Prefix
 	for _, rc := range spec.Configs {
 		out = append(out, rc.Networks...)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
 	return out
 }

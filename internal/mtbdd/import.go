@@ -1,0 +1,59 @@
+package mtbdd
+
+import "fmt"
+
+// Import rebuilds a foreign MTBDD — a node owned by another Manager — in
+// this Manager and returns the canonical local node. It is the bridge the
+// parallel verification pipeline uses to merge shard results: each worker
+// executes flows in a private Manager, and the primary Manager imports the
+// resulting STFs. Because both managers declare the same variables in the
+// same order, the imported node has the identical structure, and
+// hash-consing restores pointer-equality semantics in the destination:
+// two shards that computed the same function import to the same *Node, so
+// the link-local equivalence grouping of §5.3 keeps working after the
+// merge.
+//
+// The translation is memoized in a per-destination cache keyed by the
+// source node pointer (source pointers are unique across managers, so one
+// cache serves any number of sources). The cache holds strong references
+// to the source nodes — their addresses can therefore never be recycled
+// under it — and is dropped on ClearCaches/GC together with the other
+// operation caches, because a destination-side GC may evict the cached
+// translations from the unique table.
+//
+// Import only reads the source graph (Node fields are immutable after
+// creation), so any number of destination managers may import from the
+// same source concurrently, as long as the source Manager itself is not
+// running operations at the same time.
+func (m *Manager) Import(src *Node) *Node {
+	if src == nil {
+		return nil
+	}
+	if m.importTbl == nil {
+		m.importTbl = make(map[*Node]*Node)
+	}
+	return m.importNode(src)
+}
+
+// Import rebuilds src (owned by another Manager) inside dst. It is the
+// free-function form of (*Manager).Import.
+func Import(dst *Manager, src *Node) *Node { return dst.Import(src) }
+
+func (m *Manager) importNode(src *Node) *Node {
+	if r, ok := m.importTbl[src]; ok {
+		return r
+	}
+	var r *Node
+	if src.IsTerminal() {
+		r = m.Const(src.Value)
+	} else {
+		if int(src.Level) >= len(m.names) {
+			panic(fmt.Sprintf("mtbdd: Import of node testing variable %d into a manager with %d variables", src.Level, len(m.names)))
+		}
+		lo := m.importNode(src.Lo)
+		hi := m.importNode(src.Hi)
+		r = m.mk(src.Level, lo, hi)
+	}
+	m.importTbl[src] = r
+	return r
+}

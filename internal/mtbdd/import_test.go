@@ -1,0 +1,91 @@
+package mtbdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestImportRoundTrip checks the cross-manager import on random MTBDDs:
+// the imported node evaluates identically on sampled assignments, has the
+// same node count, and importing back into the source manager recovers
+// the original pointer (structure is canonical in both managers).
+func TestImportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 12
+	for trial := 0; trial < 50; trial++ {
+		src := New()
+		dst := New()
+		for v := 0; v < nvars; v++ {
+			src.AddVar("x")
+			dst.AddVar("x")
+		}
+		f := randomMTBDD(src, rng, nvars, 3+rng.Intn(4))
+		g := dst.Import(f)
+
+		if got, want := dst.NodeCount(g), src.NodeCount(f); got != want {
+			t.Fatalf("trial %d: node count %d after import, want %d", trial, got, want)
+		}
+		for s := 0; s < 64; s++ {
+			assign := make([]bool, nvars)
+			for v := range assign {
+				assign[v] = rng.Intn(2) == 0
+			}
+			if got, want := dst.Eval(g, assign), src.Eval(f, assign); got != want {
+				t.Fatalf("trial %d: Eval mismatch %v vs %v under %v", trial, got, want, assign)
+			}
+		}
+		// Memoization: importing the same node again is pointer-stable.
+		if dst.Import(f) != g {
+			t.Fatalf("trial %d: repeated import returned a different node", trial)
+		}
+		// Round trip: importing the copy back lands on the original.
+		if back := src.Import(g); back != f {
+			t.Fatalf("trial %d: round-trip import did not recover the original node", trial)
+		}
+	}
+}
+
+// TestImportRestoresPointerEquality checks the property the parallel
+// pipeline depends on: equal functions built in two different source
+// managers import to the same destination node.
+func TestImportRestoresPointerEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nvars = 8
+	a, b, dst := New(), New(), New()
+	for v := 0; v < nvars; v++ {
+		a.AddVar("x")
+		b.AddVar("x")
+		dst.AddVar("x")
+	}
+	for trial := 0; trial < 30; trial++ {
+		seed := rng.Int63()
+		fa := randomMTBDD(a, rand.New(rand.NewSource(seed)), nvars, 5)
+		fb := randomMTBDD(b, rand.New(rand.NewSource(seed)), nvars, 5)
+		ga, gb := dst.Import(fa), dst.Import(fb)
+		if ga != gb {
+			t.Fatalf("trial %d: same function from two managers imported to distinct nodes", trial)
+		}
+	}
+}
+
+// TestImportSurvivesDestinationGC checks that a destination GC invalidates
+// the memo cache rather than serving stale translations.
+func TestImportSurvivesDestinationGC(t *testing.T) {
+	src, dst := New(), New()
+	for v := 0; v < 4; v++ {
+		src.AddVar("x")
+		dst.AddVar("x")
+	}
+	f := src.Add(src.Var(0), src.Scale(2, src.Var(2)))
+	g := dst.Import(f)
+	dst.GC([]*Node{g}) // keeps g; clears the memo
+	if dst.Import(f) != g {
+		t.Fatal("re-import after GC (node kept) should hash-cons to the same node")
+	}
+	dst.GC(nil) // drops everything
+	h := dst.Import(f)
+	assign := []bool{true, false, true, false}
+	if got, want := dst.Eval(h, assign), src.Eval(f, assign); got != want {
+		t.Fatalf("re-import after full GC evaluates to %v, want %v", got, want)
+	}
+}

@@ -64,6 +64,9 @@ type Manager struct {
 	negTbl     *unaryCache
 	kreduceTbl *kreduceCache
 	rangeTbl   *rangeCache
+	// importTbl memoizes cross-manager translations (see Import); keyed
+	// by foreign node pointer, which is unique across source managers.
+	importTbl map[*Node]*Node
 
 	zero *Node
 	one  *Node
@@ -294,4 +297,5 @@ func (m *Manager) ClearCaches() {
 	m.negTbl = newUnaryCache()
 	m.kreduceTbl = newKReduceCache()
 	m.rangeTbl = newRangeCache()
+	m.importTbl = nil
 }

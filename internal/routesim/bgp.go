@@ -138,12 +138,23 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 	b := &BGP{fv: fv, RIBs: make([]BGPRIB, net.NumRouters())}
 
 	// Sessions are directional: one entry per (advertiser -> receiver).
+	// Configs are walked in sorted-name order: session order decides the
+	// insertion order of equally preferred RIB candidates, and float
+	// accumulation downstream (ECMP splits summed per rank group) is not
+	// associative — map-iteration order would make verification results
+	// vary across processes.
+	names := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sessions []session
 	seeds := make([]BGPRIB, net.NumRouters())
 	for i := range seeds {
 		seeds[i] = make(BGPRIB)
 	}
-	for name, rc := range cfgs {
+	for _, name := range names {
+		rc := cfgs[name]
 		r, _ := net.RouterByName(name)
 		if r == nil {
 			continue
@@ -177,7 +188,8 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 	}
 	// Exporter-side deny lists attach to sessions *from* the configured
 	// router.
-	for name, rc := range cfgs {
+	for _, name := range names {
+		rc := cfgs[name]
 		r, _ := net.RouterByName(name)
 		if r == nil {
 			continue

@@ -1,0 +1,112 @@
+package routesim
+
+import (
+	"fmt"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// ImportInto clones the route simulation result into the manager behind
+// dst, translating every guard MTBDD with mtbdd.Import. It is how the
+// parallel verification pipeline hands each worker a private copy of the
+// guarded RIBs without re-running route simulation: dst must be a FailVars
+// over the same network, mode, and budget, created with NewFailVars on a
+// fresh manager — that construction is deterministic, so dst's variable
+// order matches the source and the imported guards are structurally
+// identical.
+//
+// The clone shares no MTBDD state with the source: all further operations
+// on it (symbolic traffic execution, managed GC) touch only dst.M.
+func (r *Result) ImportInto(dst *FailVars) *Result {
+	src := r.Vars
+	if dst.Net != src.Net || dst.Mode != src.Mode || dst.K != src.K {
+		panic("routesim: ImportInto requires a FailVars over the same network, mode, and budget")
+	}
+	if dst.M.NumVars() != src.M.NumVars() {
+		panic(fmt.Sprintf("routesim: ImportInto variable count mismatch: %d vs %d", dst.M.NumVars(), src.M.NumVars()))
+	}
+	imp := func(n *mtbdd.Node) *mtbdd.Node { return dst.M.Import(n) }
+
+	out := &Result{
+		Vars:    dst,
+		IGP:     r.IGP.importInto(dst, imp),
+		BGP:     r.BGP.importInto(dst, imp),
+		SR:      make([][]GuardedSRPolicy, len(r.SR)),
+		Statics: make([][]GuardedStatic, len(r.Statics)),
+	}
+	for i, pols := range r.SR {
+		if pols == nil {
+			continue
+		}
+		cp := make([]GuardedSRPolicy, len(pols))
+		for j, p := range pols {
+			cp[j] = GuardedSRPolicy{Endpoint: p.Endpoint, MatchDSCP: p.MatchDSCP}
+			cp[j].Paths = make([]GuardedSRPath, len(p.Paths))
+			for k, path := range p.Paths {
+				cp[j].Paths[k] = GuardedSRPath{
+					Segments: path.Segments,
+					Weight:   path.Weight,
+					Guard:    imp(path.Guard),
+				}
+			}
+		}
+		out.SR[i] = cp
+	}
+	for i, sts := range r.Statics {
+		if sts == nil {
+			continue
+		}
+		cp := make([]GuardedStatic, len(sts))
+		for j, st := range sts {
+			cp[j] = st
+			cp[j].Guard = imp(st.Guard)
+		}
+		out.Statics[i] = cp
+	}
+	return out
+}
+
+func (g *IGP) importInto(dst *FailVars, imp func(*mtbdd.Node) *mtbdd.Node) *IGP {
+	out := &IGP{
+		fv:     dst,
+		routes: make([]map[topo.RouterID][]IGPRoute, len(g.routes)),
+		reach:  make([]map[topo.RouterID]*mtbdd.Node, len(g.reach)),
+	}
+	for r := range g.routes {
+		out.routes[r] = make(map[topo.RouterID][]IGPRoute, len(g.routes[r]))
+		for dest, routes := range g.routes[r] {
+			cp := make([]IGPRoute, len(routes))
+			for i, rt := range routes {
+				cp[i] = IGPRoute{Out: rt.Out, Cost: rt.Cost, Guard: imp(rt.Guard)}
+			}
+			out.routes[r][dest] = cp
+		}
+		out.reach[r] = make(map[topo.RouterID]*mtbdd.Node, len(g.reach[r]))
+		for dest, guard := range g.reach[r] {
+			out.reach[r][dest] = imp(guard)
+		}
+	}
+	return out
+}
+
+func (b *BGP) importInto(dst *FailVars, imp func(*mtbdd.Node) *mtbdd.Node) *BGP {
+	out := &BGP{fv: dst, Converged: b.Converged, Rounds: b.Rounds, RIBs: make([]BGPRIB, len(b.RIBs))}
+	for r, rib := range b.RIBs {
+		if rib == nil {
+			continue
+		}
+		cp := make(BGPRIB, len(rib))
+		for pfx, cands := range rib {
+			cc := make([]*BGPCand, len(cands))
+			for i, c := range cands {
+				dup := *c
+				dup.Guard = imp(c.Guard)
+				cc[i] = &dup
+			}
+			cp[pfx] = cc
+		}
+		out.RIBs[r] = cp
+	}
+	return out
+}

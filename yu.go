@@ -156,6 +156,11 @@ type VerifyOptions struct {
 	DisableGlobalEquiv    bool
 	// Incremental enables incremental re-simulation (EngineEnumerate).
 	Incremental bool
+	// Workers is the parallelism degree for EngineYU: flows are executed
+	// on sharded MTBDD managers and links checked concurrently. 0 or 1
+	// selects the sequential pipeline; reports are identical either way
+	// (modulo wall-clock fields).
+	Workers int
 }
 
 // Report is the outcome of a verification run.
@@ -263,7 +268,7 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		DisableGlobalEquiv:    opts.DisableGlobalEquiv,
 		CheckK:                checkK,
 	})
-	ver := core.NewVerifier(eng, flows)
+	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
 	rep := ver.Run(n.spec.Props, n.spec.Delivered, opts.OverloadFactor)
 	out := &Report{
 		Violations:    rep.Violations,

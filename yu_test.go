@@ -228,3 +228,41 @@ func TestBothFailureMode(t *testing.T) {
 		t.Error("expected at least one nonempty witness")
 	}
 }
+
+// TestVerifyWorkersMatchesSequential drives the parallel pipeline through
+// the public API: identical violations and stats at any worker count.
+func TestVerifyWorkersMatchesSequential(t *testing.T) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 30, Links: 60, Prefixes: 8, SRPolicyFraction: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{
+		Count: 300, DSCP5Fraction: 0.3, DistinctDstPerPrefix: 2, Seed: 107,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := FromSpec(spec)
+	seq, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 0.6, Flows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := n.Verify(VerifyOptions{K: 1, OverloadFactor: 0.6, Flows: flows, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Holds != par.Holds || len(seq.Violations) != len(par.Violations) {
+		t.Fatalf("sequential holds=%v/%d violations, workers=4 holds=%v/%d",
+			seq.Holds, len(seq.Violations), par.Holds, len(par.Violations))
+	}
+	for i := range seq.Violations {
+		a, b := seq.Violations[i], par.Violations[i]
+		if a.Kind != b.Kind || a.Link != b.Link || a.Value != b.Value {
+			t.Fatalf("violation %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if seq.FlowsExecuted != par.FlowsExecuted || len(seq.LinkStats) != len(par.LinkStats) {
+		t.Fatalf("stats differ: executed %d vs %d, link stats %d vs %d",
+			seq.FlowsExecuted, par.FlowsExecuted, len(seq.LinkStats), len(par.LinkStats))
+	}
+}
