@@ -39,8 +39,12 @@ type EnumOptions struct {
 	StopAtFirst bool
 	// Incremental skips re-simulating flows provably unaffected by the
 	// scenario: flows whose baseline (no-failure) trajectory avoids every
-	// failed element and whose forwarding decisions along that trajectory
-	// are unchanged — the spirit of Jingubang's incremental simulation.
+	// failed element AND whose visited routers all kept their baseline
+	// routing state (IGP rows and BGP RIBs) — the spirit of Jingubang's
+	// incremental simulation. The trajectory test alone is unsound: a
+	// remote failure can sever an iBGP session or shift IGP state at a
+	// router the flow visits, rerouting it even though the failed link
+	// itself carried none of its traffic.
 	Incremental bool
 	// OverloadFactor, when > 0, checks load <= factor×capacity on every
 	// directed link.
@@ -77,17 +81,21 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 	var chosen []elem
 
 	// Incremental mode: simulate the no-failure baseline once and keep
-	// per-flow traces. A flow needs re-simulation under a scenario only
-	// if a failed element lies on its baseline trajectory — failures only
-	// withdraw routes, so forwarding decisions at routers the flow never
-	// visits cannot change its behavior (Jingubang-style incrementality).
+	// per-flow traces plus the baseline routing state. A flow needs
+	// re-simulation under a scenario only if a failed element lies on its
+	// baseline trajectory, or a router it visits no longer has its
+	// baseline routing state. The first test alone is NOT sufficient:
+	// failing a link far from a flow's path can sever an iBGP session (or
+	// change IGP reachability) and thereby withdraw or replace routes at
+	// a router the flow traverses.
 	var baseTraces []*FlowTrace
 	var baseLoad map[topo.DirLinkID]float64
+	var baseRoutes *routesFor
 	if opts.Incremental {
-		rt := s.ComputeRoutes(NewScenario(s.net))
+		baseRoutes = s.ComputeRoutes(NewScenario(s.net))
 		baseLoad = make(map[topo.DirLinkID]float64)
 		for _, f := range flows {
-			tr := s.SimulateFlow(rt, f)
+			tr := s.SimulateFlow(baseRoutes, f)
 			baseTraces = append(baseTraces, tr)
 			for l, v := range tr.Load {
 				baseLoad[l] += v
@@ -95,7 +103,8 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 		}
 	}
 
-	affected := func() []int {
+	affected := func(rt *routesFor) []int {
+		changed := s.changedRouters(baseRoutes, rt)
 		var out []int
 		for fi, tr := range baseTraces {
 			hit := false
@@ -110,6 +119,12 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 					hit = true
 					break
 				}
+			}
+			for r := range tr.Routers {
+				if hit {
+					break
+				}
+				hit = changed[r]
 			}
 			if hit {
 				out = append(out, fi)
@@ -127,7 +142,8 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 		rep.Scenarios++
 		var res *ScenarioResult
 		if opts.Incremental {
-			aff := affected()
+			rt := s.ComputeRoutes(sc)
+			aff := affected(rt)
 			res = &ScenarioResult{
 				Load:      make(map[topo.DirLinkID]float64, len(baseLoad)),
 				Delivered: make([]float64, len(flows)),
@@ -140,20 +156,17 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 				res.Delivered[fi] = tr.Delivered
 				res.Dropped[fi] = tr.Dropped
 			}
-			if len(aff) > 0 {
-				rt := s.ComputeRoutes(sc)
-				for _, fi := range aff {
-					old := baseTraces[fi]
-					for l, v := range old.Load {
-						res.Load[l] -= v
-					}
-					tr := s.SimulateFlow(rt, flows[fi])
-					rep.SimulatedFlows++
-					res.Delivered[fi] = tr.Delivered
-					res.Dropped[fi] = tr.Dropped
-					for l, v := range tr.Load {
-						res.Load[l] += v
-					}
+			for _, fi := range aff {
+				old := baseTraces[fi]
+				for l, v := range old.Load {
+					res.Load[l] -= v
+				}
+				tr := s.SimulateFlow(rt, flows[fi])
+				rep.SimulatedFlows++
+				res.Delivered[fi] = tr.Delivered
+				res.Dropped[fi] = tr.Dropped
+				for l, v := range tr.Load {
+					res.Load[l] += v
 				}
 			}
 		} else {
@@ -185,6 +198,43 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 	visit(0, k)
 	rep.Holds = len(rep.Violations) == 0
 	return rep
+}
+
+// changedRouters reports, per router, whether its routing state under rt
+// differs from the baseline: any IGP distance or next-hop set, or any BGP
+// RIB entry. A flow whose visited routers are all unchanged (and whose
+// trajectory avoids every failed element) forwards exactly as in the
+// baseline, so it can be skipped.
+func (s *Sim) changedRouters(base, rt *routesFor) []bool {
+	n := s.net.NumRouters()
+	changed := make([]bool, n)
+	for r := 0; r < n; r++ {
+		if !sameConcRIB(base.bgp.ribs[r], rt.bgp.ribs[r]) {
+			changed[r] = true
+			continue
+		}
+		for dest := 0; dest < n; dest++ {
+			if base.igp.dist[r][dest] != rt.igp.dist[r][dest] {
+				changed[r] = true
+				break
+			}
+			a, b := base.igp.nh[r][dest], rt.igp.nh[r][dest]
+			if len(a) != len(b) {
+				changed[r] = true
+				break
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					changed[r] = true
+					break
+				}
+			}
+			if changed[r] {
+				break
+			}
+		}
+	}
+	return changed
 }
 
 type elem struct {

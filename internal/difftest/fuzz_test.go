@@ -1,0 +1,61 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/yu-verify/yu"
+)
+
+// FuzzBattery is the generator-seed harness: the fuzzer explores the
+// space of generator seeds and every generated case must satisfy the full
+// oracle battery. The corpus under testdata/fuzz/FuzzBattery pins seeds
+// worth keeping forever (including the shapes that historically exposed
+// engine-divergence classes: export-deny, via-statics, router mode).
+func FuzzBattery(f *testing.F) {
+	for _, seed := range []int64{1, 7, 15, 42, 56, 222} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c, err := New(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if err := RunAll(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// FuzzSpecRoundTrip is the parser/formatter differential: any DSL text the
+// parser accepts must format to a fixpoint — Format(Parse(Format(Parse(x))))
+// equals Format(Parse(x)) — so cmd/yudiff reproducer specs never drift.
+// Unrepresentable-but-parseable specs (FormatSpec returns an error) are
+// skipped; parse rejections are fine; panics are not.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add("router a as 1\nrouter b as 1\nlink a b\nflow f ingress a dst 10.0.0.2 gbps 1\n")
+	f.Add("router a as 1\nrouter b as 2\nlink a b cost 5 capacity 10\nauto-bgp-mesh\nconfig a\n  network 100.0.0.0/24\nfailures k 2 mode links\n")
+	f.Add("router a as 1 nofail\nrouter b as 1\nlink a b\nproperty link a-b max 7\nproperty delivered 100.0.0.0/24 min 1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := yu.LoadString(text)
+		if err != nil {
+			return
+		}
+		txt1, err := FormatSpec(n.Spec())
+		if err != nil {
+			return // parseable but not representable: fine
+		}
+		n2, err := yu.LoadString(txt1)
+		if err != nil {
+			t.Fatalf("formatted spec does not re-parse: %v\n%s", err, txt1)
+		}
+		txt2, err := FormatSpec(n2.Spec())
+		if err != nil {
+			t.Fatalf("re-parsed spec does not re-format: %v\n%s", err, txt1)
+		}
+		if txt1 != txt2 {
+			t.Fatalf("format not a fixpoint for input %q:\n--- first ---\n%s--- second ---\n%s",
+				strings.TrimSpace(text), txt1, txt2)
+		}
+	})
+}

@@ -1,0 +1,349 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/concrete"
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/routesim"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+var infinity = math.Inf(1)
+
+// tolerance absorbs the floating-point noise of ECMP fraction arithmetic
+// when comparing loads computed by independent implementations.
+const tolerance = 1e-6
+
+// Oracle is one named correctness check over a generated case. An oracle
+// returns nil when the case agrees with it and a descriptive error naming
+// the first disagreement otherwise.
+type Oracle struct {
+	Name string
+	Run  func(*Case) error
+}
+
+// Battery is the full oracle battery, cheapest first. RunAll executes it
+// in order; cmd/yudiff and the fuzz targets share it.
+func Battery() []Oracle {
+	return []Oracle{
+		{"loads-vs-concrete", OracleLoadsVsConcrete},
+		{"violation-sets", OracleViolationSets},
+		{"parallel-vs-sequential", OracleParallelVsSequential},
+		{"monotonicity-in-k", OracleMonotonicity},
+		{"kreduce-soundness", OracleKReduceSoundness},
+		{"witness-revalidation", OracleWitnessRevalidation},
+		{"spec-round-trip", OracleSpecRoundTrip},
+	}
+}
+
+// RunAll runs the whole battery and returns the first disagreement,
+// wrapped with the oracle's name.
+func RunAll(c *Case) error {
+	for _, o := range Battery() {
+		if err := o.Run(c); err != nil {
+			return fmt.Errorf("oracle %s: %w", o.Name, err)
+		}
+	}
+	return nil
+}
+
+// buildVerifier runs the symbolic pipeline (route simulation + flow
+// execution) for the case on a fresh manager.
+func buildVerifier(c *Case, budget int, engOpts core.Options) (*core.Verifier, *mtbdd.Manager, *routesim.FailVars, error) {
+	m := mtbdd.New()
+	fv := routesim.NewFailVars(m, c.Spec.Net, c.Mode, budget)
+	rs, err := routesim.Run(fv, c.Spec.Configs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng := core.NewEngine(rs, engOpts)
+	return core.NewVerifier(eng, c.Spec.Flows), m, fv, nil
+}
+
+// OracleLoadsVsConcrete is the strongest check: the symbolic traffic load
+// of every directed link, evaluated at every scenario with at most k
+// failures, must equal the concrete simulator's load exactly (within
+// float tolerance); per-flow conservation (delivered + dropped = volume)
+// must hold concretely in every scenario.
+func OracleLoadsVsConcrete(c *Case) error {
+	net := c.Spec.Net
+	ver, m, fv, err := buildVerifier(c, c.K, core.Options{DisableGlobalEquiv: true})
+	if err != nil {
+		return err
+	}
+	// Aggregate all per-link STLs up front so scenario evaluation is a
+	// pure MTBDD walk.
+	taus := make(map[topo.DirLinkID]*mtbdd.Node)
+	for li := 0; li < net.NumLinks(); li++ {
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			dl := topo.MakeDirLinkID(topo.LinkID(li), d)
+			tau, _ := ver.LinkLoad(dl)
+			taus[dl] = tau
+		}
+	}
+	sim := concrete.NewSim(net, c.Spec.Configs)
+	return forEachScenario(net, c.Mode, c.K, func(links []topo.LinkID, routers []topo.RouterID) error {
+		sc := concrete.NewScenario(net)
+		for _, l := range links {
+			sc.LinkDown[l] = true
+		}
+		for _, r := range routers {
+			sc.RouterDown[r] = true
+		}
+		res := sim.Simulate(sc, c.Spec.Flows)
+		assign := fv.Scenario(links, routers)
+		for dl, tau := range taus {
+			sym := m.Eval(tau, assign)
+			conc := res.Load[dl]
+			if math.Abs(sym-conc) > tolerance {
+				return fmt.Errorf("failed=%v/%v link %s: symbolic %.9g vs concrete %.9g",
+					links, routers, net.DirLinkName(dl), sym, conc)
+			}
+		}
+		for fi, f := range c.Spec.Flows {
+			if math.Abs(res.Delivered[fi]+res.Dropped[fi]-f.Gbps) > tolerance {
+				return fmt.Errorf("failed=%v/%v flow %d: delivered %.9g + dropped %.9g != %.9g",
+					links, routers, fi, res.Delivered[fi], res.Dropped[fi], f.Gbps)
+			}
+		}
+		return nil
+	})
+}
+
+// verifyOpts assembles the standard yu.VerifyOptions for a case.
+func verifyOpts(c *Case, k, workers int, engine yu.Engine) yu.VerifyOptions {
+	return yu.VerifyOptions{
+		K:              k,
+		Mode:           c.Mode,
+		ModeSet:        true,
+		OverloadFactor: c.OverloadFactor,
+		Engine:         engine,
+		Workers:        workers,
+		Incremental:    true,
+	}
+}
+
+// OracleViolationSets checks that the symbolic engine and the enumerating
+// baseline flag exactly the same set of violated properties — the
+// cross-engine equality xcheck_test.go relies on, run on every generated
+// case.
+func OracleViolationSets(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	yuRep, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	enumRep, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineEnumerate))
+	if err != nil {
+		return err
+	}
+	a := ViolationKeys(c.Spec.Net, yuRep.Violations)
+	b := ViolationKeys(c.Spec.Net, enumRep.Violations)
+	if err := sameStringSets(a, b); err != nil {
+		return fmt.Errorf("symbolic vs enumerate: %w", err)
+	}
+	if yuRep.Holds != enumRep.Holds {
+		return fmt.Errorf("Holds disagrees: symbolic %v, enumerate %v", yuRep.Holds, enumRep.Holds)
+	}
+	return nil
+}
+
+// OracleParallelVsSequential checks that a sharded run (workers=3) renders
+// a byte-identical report to the sequential pipeline, wall-clock fields
+// excluded.
+func OracleParallelVsSequential(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	seq, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	par, err := n.Verify(verifyOpts(c, c.K, 3, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	sa, sb := FormatReport(c.Spec.Net, seq), FormatReport(c.Spec.Net, par)
+	if sa != sb {
+		return fmt.Errorf("reports differ\n--- sequential ---\n%s--- workers=3 ---\n%s", sa, sb)
+	}
+	return nil
+}
+
+// OracleMonotonicity checks that growing the failure budget only grows
+// the violation set: every property violated within k failures is also
+// violated within k+1 (the scenario space is a superset).
+func OracleMonotonicity(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	repK, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	repK1, err := n.Verify(verifyOpts(c, c.K+1, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	small := ViolationKeys(c.Spec.Net, repK.Violations)
+	big := make(map[string]bool)
+	for _, k := range ViolationKeys(c.Spec.Net, repK1.Violations) {
+		big[k] = true
+	}
+	for _, k := range small {
+		if !big[k] {
+			return fmt.Errorf("%q violated at k=%d but not at k=%d", k, c.K, c.K+1)
+		}
+	}
+	return nil
+}
+
+// OracleKReduceSoundness checks Lemma 1 end to end: the KReduce'd
+// pipeline and the unreduced pipeline (budget -1) agree on every
+// aggregated symbolic traffic load at every assignment with at most k
+// failures. KREDUCE only merges subtrees beyond the budget, and MTBDD
+// arithmetic is pointwise, so agreement must be exact.
+func OracleKReduceSoundness(c *Case) error {
+	net := c.Spec.Net
+	verRed, mRed, fvRed, err := buildVerifier(c, c.K, core.Options{})
+	if err != nil {
+		return err
+	}
+	verFull, mFull, fvFull, err := buildVerifier(c, -1, core.Options{})
+	if err != nil {
+		return err
+	}
+	for li := 0; li < net.NumLinks(); li++ {
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			dl := topo.MakeDirLinkID(topo.LinkID(li), d)
+			tauRed, _ := verRed.LinkLoad(dl)
+			tauFull, _ := verFull.LinkLoad(dl)
+			err := forEachScenario(net, c.Mode, c.K, func(links []topo.LinkID, routers []topo.RouterID) error {
+				red := mRed.Eval(tauRed, fvRed.Scenario(links, routers))
+				full := mFull.Eval(tauFull, fvFull.Scenario(links, routers))
+				if math.Abs(red-full) > 1e-12 {
+					return fmt.Errorf("link %s failed=%v/%v: reduced %.12g vs unreduced %.12g",
+						net.DirLinkName(dl), links, routers, red, full)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OracleWitnessRevalidation concretizes every reported violation's
+// witness scenario, re-runs it through the independent concrete
+// simulator, and confirms (a) the concrete value matches the reported
+// value and (b) the bound is genuinely crossed. A verifier that reports a
+// right verdict with a wrong witness fails here and nowhere else.
+func OracleWitnessRevalidation(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	rep, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	sim := concrete.NewSim(c.Spec.Net, c.Spec.Configs)
+	for i, v := range rep.Violations {
+		if len(v.FailedLinks)+len(v.FailedRouters) > c.K {
+			return fmt.Errorf("violation %d: witness has %d failures, budget is %d",
+				i, len(v.FailedLinks)+len(v.FailedRouters), c.K)
+		}
+		sc := concrete.NewScenario(c.Spec.Net)
+		for _, l := range v.FailedLinks {
+			sc.LinkDown[l] = true
+		}
+		for _, r := range v.FailedRouters {
+			sc.RouterDown[r] = true
+		}
+		res := sim.Simulate(sc, c.Spec.Flows)
+		var conc float64
+		switch v.Kind {
+		case "link-load":
+			conc = res.Load[v.Link]
+		case "delivered":
+			for fi, f := range c.Spec.Flows {
+				if v.Prefix.Contains(f.Dst) {
+					conc += res.Delivered[fi]
+				}
+			}
+		default:
+			return fmt.Errorf("violation %d: unknown kind %q", i, v.Kind)
+		}
+		if math.Abs(conc-v.Value) > tolerance {
+			return fmt.Errorf("violation %d (%s): reported value %.9g, concrete re-run says %.9g",
+				i, v.Kind, v.Value, conc)
+		}
+		// The witness must genuinely cross the violated bound (3×
+		// tolerance mirrors the verifier's own epsilon slack).
+		crossesMax := !math.IsInf(v.Max, 1) && conc > v.Max-3*tolerance
+		crossesMin := v.Min > 0 && conc < v.Min+3*tolerance
+		if !crossesMax && !crossesMin {
+			return fmt.Errorf("violation %d (%s): concrete value %.9g inside bounds [%.9g, %.9g]",
+				i, v.Kind, conc, v.Min, v.Max)
+		}
+	}
+	return nil
+}
+
+// OracleSpecRoundTrip formats the case's spec into the config DSL, parses
+// it back, and requires (a) formatting the re-parsed spec reproduces the
+// text (fixpoint) and (b) verification of the re-parsed spec renders a
+// byte-identical report — so cmd/yudiff reproducer specs are faithful.
+func OracleSpecRoundTrip(c *Case) error {
+	txt, err := FormatSpec(c.Spec)
+	if err != nil {
+		return err
+	}
+	n2, err := yu.LoadString(txt)
+	if err != nil {
+		return fmt.Errorf("re-parse failed: %w\n%s", err, txt)
+	}
+	txt2, err := FormatSpec(n2.Spec())
+	if err != nil {
+		return err
+	}
+	if txt != txt2 {
+		return fmt.Errorf("format not a fixpoint:\n--- first ---\n%s--- second ---\n%s", txt, txt2)
+	}
+	rep1, err := yu.FromSpec(c.Spec).Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	rep2, err := n2.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	ra, rb := FormatReport(c.Spec.Net, rep1), FormatReport(n2.Spec().Net, rep2)
+	if ra != rb {
+		return fmt.Errorf("re-parsed spec verifies differently\n--- original ---\n%s--- round-tripped ---\n%s", ra, rb)
+	}
+	return nil
+}
+
+// sameStringSets reports the first element present in exactly one of two
+// string slices (treated as sets).
+func sameStringSets(a, b []string) error {
+	in := func(xs []string) map[string]bool {
+		m := make(map[string]bool, len(xs))
+		for _, x := range xs {
+			m[x] = true
+		}
+		return m
+	}
+	ma, mb := in(a), in(b)
+	for x := range ma {
+		if !mb[x] {
+			return fmt.Errorf("%q in first set only (first=%v second=%v)", x, a, b)
+		}
+	}
+	for x := range mb {
+		if !ma[x] {
+			return fmt.Errorf("%q in second set only (first=%v second=%v)", x, a, b)
+		}
+	}
+	return nil
+}

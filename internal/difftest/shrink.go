@@ -1,0 +1,148 @@
+package difftest
+
+// Shrink greedily minimizes a failing case: it repeatedly removes one
+// element from the case's blueprint (a flow, SR policy, static route, BGP
+// tweak, property, chord link, or prefix — routers and ring links stay,
+// preserving identity and connectivity), rebuilds, and keeps the removal
+// whenever stillFailing reports the smaller case still fails. It runs to
+// a fixpoint, so the result is 1-minimal: removing any single remaining
+// element makes the failure disappear.
+//
+// stillFailing must be deterministic; RunAll is the usual predicate.
+func Shrink(c *Case, stillFailing func(*Case) error) *Case {
+	if c.bp == nil {
+		return c
+	}
+	cur := c
+	for {
+		smaller := shrinkStep(cur, stillFailing)
+		if smaller == nil {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// shrinkStep tries every single-element removal and returns the first
+// still-failing smaller case, or nil when none helps.
+func shrinkStep(c *Case, stillFailing func(*Case) error) *Case {
+	for _, op := range removalOps(c.bp) {
+		bp := c.bp.clone()
+		op(bp)
+		cand, err := bp.build()
+		if err != nil {
+			continue // removal produced an invalid spec; not a candidate
+		}
+		cand.Seed = c.Seed
+		if stillFailing(cand) != nil {
+			return cand
+		}
+	}
+	return nil
+}
+
+// removalOps enumerates every single-element removal applicable to the
+// blueprint, cheap reductions (workload, policy knobs) before structural
+// ones (links, prefixes).
+func removalOps(bp *blueprint) []func(*blueprint) {
+	var ops []func(*blueprint)
+	for i := range bp.flows {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.flows = removeAt(b.flows, i) })
+	}
+	for i := range bp.srPols {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.srPols = removeAt(b.srPols, i) })
+	}
+	for i := range bp.statics {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.statics = removeAt(b.statics, i) })
+	}
+	for i := range bp.lpTweaks {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.lpTweaks = removeAt(b.lpTweaks, i) })
+	}
+	for i := range bp.exDenies {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.exDenies = removeAt(b.exDenies, i) })
+	}
+	for i := range bp.loadProps {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.loadProps = removeAt(b.loadProps, i) })
+	}
+	for i := range bp.delivered {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.delivered = removeAt(b.delivered, i) })
+	}
+	for i := range bp.links {
+		if bp.links[i].ring {
+			continue
+		}
+		i := i
+		ops = append(ops, func(b *blueprint) { b.removeLink(i) })
+	}
+	for i := range bp.prefixes {
+		i := i
+		ops = append(ops, func(b *blueprint) { b.removePrefix(i) })
+	}
+	return ops
+}
+
+func removeAt[T any](xs []T, i int) []T {
+	return append(xs[:i:i], xs[i+1:]...)
+}
+
+// removeLink deletes links[i] and re-aims every index that pointed past
+// it: the nofail marker and the explicit load properties. Properties on
+// the removed link itself go with it.
+func (bp *blueprint) removeLink(i int) {
+	bp.links = removeAt(bp.links, i)
+	switch {
+	case bp.nofailLink == i:
+		bp.nofailLink = -1
+	case bp.nofailLink > i:
+		bp.nofailLink--
+	}
+	props := bp.loadProps[:0]
+	for _, p := range bp.loadProps {
+		if p.link == i {
+			continue
+		}
+		if p.link > i {
+			p.link--
+		}
+		props = append(props, p)
+	}
+	bp.loadProps = props
+}
+
+// removePrefix deletes prefixes[i], dropping export-denies and delivered
+// bounds that referenced it and shifting later references down. Flows and
+// statics hold prefix values, not indices, so they are unaffected (a flow
+// whose destination loses its origin simply becomes undeliverable —
+// still a perfectly good case).
+func (bp *blueprint) removePrefix(i int) {
+	bp.prefixes = removeAt(bp.prefixes, i)
+	denies := bp.exDenies[:0]
+	for _, d := range bp.exDenies {
+		if d.prefix == i {
+			continue
+		}
+		if d.prefix > i {
+			d.prefix--
+		}
+		denies = append(denies, d)
+	}
+	bp.exDenies = denies
+	del := bp.delivered[:0]
+	for _, d := range bp.delivered {
+		if d.prefix == i {
+			continue
+		}
+		if d.prefix > i {
+			d.prefix--
+		}
+		del = append(del, d)
+	}
+	bp.delivered = del
+}

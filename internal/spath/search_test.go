@@ -1,0 +1,171 @@
+package spath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/yu-verify/yu/internal/flowgen"
+	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// TestDeadlineTimesOut checks an already-expired deadline aborts the
+// search before it evaluates anything, and that the report says so.
+func TestDeadlineTimesOut(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 6, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(spec.Net, spec.Configs, flows)
+	rep := model.Verify(3, Options{OverloadFactor: 1.0, Deadline: time.Now().Add(-time.Second)})
+	if !rep.TimedOut {
+		t.Fatal("expired deadline must set TimedOut")
+	}
+	if rep.Scenarios != 0 {
+		t.Errorf("timed-out-before-start search evaluated %d scenarios", rep.Scenarios)
+	}
+}
+
+// TestPrunedCounter checks the branch-and-bound prune fires: under a
+// single flow most links carry no traffic, so the k=1 leaf scan must
+// skip untouched links and count each skip.
+func TestPrunedCounter(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 5, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(spec.Net, spec.Configs, flows[:1])
+	rep := model.Verify(1, Options{OverloadFactor: 1.0})
+	if rep.Pruned == 0 {
+		t.Error("single-flow k=1 search pruned nothing; expected untouched-link leaves to be skipped")
+	}
+	if rep.Scenarios+rep.Pruned != 1+spec.Net.NumLinks() {
+		t.Errorf("scenarios %d + pruned %d != %d leaf+root cases",
+			rep.Scenarios, rep.Pruned, 1+spec.Net.NumLinks())
+	}
+}
+
+// TestVerifyK2MatchesBruteForce compares the pruned k=2 search against
+// a prune-free enumeration of every failure set of size ≤ 2: the set of
+// overloaded directed links must be identical (pruning may only skip
+// scenarios whose loads duplicate an already-evaluated ancestor).
+func TestVerifyK2MatchesBruteForce(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 6, 0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(spec.Net, spec.Configs, flows)
+	const eps = 1e-6
+
+	overloaded := func(down []bool, into map[string]bool) {
+		load, _ := model.loadsForTest(down)
+		for dl, v := range load {
+			link := spec.Net.Link(dl.Link())
+			if v > link.Capacity-eps {
+				into[spec.Net.DirLinkName(dl)] = true
+			}
+		}
+	}
+	want := make(map[string]bool)
+	nl := spec.Net.NumLinks()
+	down := make([]bool, nl)
+	overloaded(down, want)
+	for i := 0; i < nl; i++ {
+		down[i] = true
+		overloaded(down, want)
+		for j := i + 1; j < nl; j++ {
+			down[j] = true
+			overloaded(down, want)
+			down[j] = false
+		}
+		down[i] = false
+	}
+
+	rep := model.Verify(2, Options{OverloadFactor: 1.0})
+	got := make(map[string]bool)
+	for _, v := range rep.Violations {
+		got[spec.Net.DirLinkName(v.Link)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pruned search flags %d links %v, brute force flags %d links %v",
+			len(got), keys(got), len(want), keys(want))
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("brute force overloads %s but the pruned search missed it", l)
+		}
+	}
+	if rep.Holds != (len(want) == 0) {
+		t.Errorf("Holds = %v with %d brute-force overloads", rep.Holds, len(want))
+	}
+}
+
+// TestWitnessReplay validates every reported violation as a concrete
+// witness: the failed set must respect the budget and the NoFail marks,
+// and replaying it through the load computation must reproduce the
+// reported value on the reported link.
+func TestWitnessReplay(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 6, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(spec.Net, spec.Configs, flows)
+	const k = 2
+	rep := model.Verify(k, Options{OverloadFactor: 1.0})
+	if rep.Holds {
+		t.Fatal("expected violations to validate")
+	}
+	for i, v := range rep.Violations {
+		name := fmt.Sprintf("violation[%d] %s", i, spec.Net.DirLinkName(v.Link))
+		if len(v.FailedLinks) > k {
+			t.Fatalf("%s: witness has %d failures, budget %d", name, len(v.FailedLinks), k)
+		}
+		seen := make(map[topo.LinkID]bool)
+		down := make([]bool, spec.Net.NumLinks())
+		for _, l := range v.FailedLinks {
+			if seen[l] {
+				t.Fatalf("%s: witness repeats link %d", name, l)
+			}
+			seen[l] = true
+			if spec.Net.Link(l).NoFail {
+				t.Fatalf("%s: witness fails NoFail link %s", name, spec.Net.LinkName(l))
+			}
+			down[l] = true
+		}
+		load, _ := model.loadsForTest(down)
+		if got := load[v.Link]; math.Abs(got-v.Value) > 1e-9 {
+			t.Fatalf("%s: replay load %.9g, reported %.9g", name, got, v.Value)
+		}
+		if v.Value <= v.Limit-1e-6 {
+			t.Fatalf("%s: reported value %.9g does not exceed limit %.9g", name, v.Value, v.Limit)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
