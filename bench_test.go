@@ -23,6 +23,15 @@ import (
 	"github.com/yu-verify/yu/internal/topo"
 )
 
+func mustSpec(b testing.TB, load func() (*config.Spec, error)) *config.Spec {
+	b.Helper()
+	spec, err := load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
 // mustFatTree builds an FT-m spec with a fraction of pairwise flows.
 func mustFatTree(b *testing.B, pods int, frac float64) (*config.Spec, []topo.Flow) {
 	b.Helper()
@@ -73,7 +82,7 @@ func runYUOnce(b *testing.B, spec *config.Spec, flows []topo.Flow, k int, mode t
 
 // BenchmarkMotivatingExample verifies Figure 1's P1+P2 end to end.
 func BenchmarkMotivatingExample(b *testing.B) {
-	spec := paperex.MustMotivating()
+	spec := mustSpec(b, paperex.MotivatingSpec)
 	for i := 0; i < b.N; i++ {
 		runYUOnce(b, spec, spec.Flows, 1, topo.FailLinks, core.Options{})
 	}

@@ -5,7 +5,8 @@
 //
 //	yu verify [-k N] [-mode links|routers|both] [-overload FACTOR]
 //	          [-engine yu|enumerate|spath] [-no-kreduce] [-no-equiv]
-//	          [-workers N] [-stats] spec.yu
+//	          [-workers N] [-timeout D] [-max-nodes N]
+//	          [-on-budget fail|degrade] [-stats] spec.yu
 //	yu show spec.yu
 //
 // The spec format is documented in the README (routers, links, config
@@ -13,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +64,9 @@ func cmdVerify(args []string) {
 	noKReduce := fs.Bool("no-kreduce", false, "disable k-failure MTBDD reduction (ablation)")
 	noEquiv := fs.Bool("no-equiv", false, "disable flow equivalence reductions (ablation)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the yu engine (1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort verification after this duration (0 = none)")
+	maxNodes := fs.Int("max-nodes", 0, "live MTBDD node budget (0 = unlimited)")
+	onBudget := fs.String("on-budget", "fail", "node-budget policy: fail (typed error) or degrade (concrete fallback)")
 	stats := fs.Bool("stats", false, "print per-link statistics")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -79,6 +85,20 @@ func cmdVerify(args []string) {
 		DisableLinkLocalEquiv: *noEquiv,
 		DisableGlobalEquiv:    *noEquiv,
 		Workers:               *workers,
+		MaxNodes:              *maxNodes,
+	}
+	switch *onBudget {
+	case "fail":
+		opts.OnBudget = yu.BudgetFail
+	case "degrade":
+		opts.OnBudget = yu.BudgetDegrade
+	default:
+		fatal(fmt.Errorf("unknown -on-budget policy %q", *onBudget))
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
 	}
 	switch *mode {
 	case "":
@@ -102,20 +122,56 @@ func cmdVerify(args []string) {
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 	rep, err := net.Verify(opts)
-	if err != nil {
+	if err != nil && rep == nil {
 		fatal(err)
 	}
 	topoN := net.Topology()
-	if rep.Holds {
+	switch {
+	case err != nil:
+		// Governance cut the run short: report what was checked before
+		// the interruption, then the typed cause.
+		fmt.Printf("INCOMPLETE: verification interrupted (%v)\n", rep.Elapsed)
+		if len(rep.Violations) > 0 {
+			fmt.Printf("  %d violation(s) found before interruption:\n", len(rep.Violations))
+			for _, v := range rep.Violations {
+				fmt.Println("    " + v.Describe(topoN))
+			}
+		}
+		if n := len(rep.Unchecked) + len(rep.UncheckedDelivered); n > 0 {
+			fmt.Printf("  %d propert%s left unchecked\n", n, plural(n, "y", "ies"))
+		}
+		switch {
+		case errors.Is(err, yu.ErrDeadline):
+			fmt.Println("  cause: deadline exceeded (-timeout)")
+		case errors.Is(err, yu.ErrCanceled):
+			fmt.Println("  cause: canceled")
+		case errors.Is(err, yu.ErrNodeBudget):
+			fmt.Printf("  cause: %v (rerun with a larger -max-nodes or -on-budget=degrade)\n", err)
+		default:
+			fmt.Printf("  cause: %v\n", err)
+		}
+	case rep.Holds:
 		fmt.Printf("VERIFIED: all properties hold under the failure budget (%v)\n", rep.Elapsed)
-	} else {
+	default:
 		fmt.Printf("VIOLATED: %d violation(s) found (%v)\n", len(rep.Violations), rep.Elapsed)
 		for _, v := range rep.Violations {
 			fmt.Println("  " + v.Describe(topoN))
 		}
 	}
+	if n := len(rep.DegradedFlows); n > 0 {
+		fmt.Printf("note: %d flow(s) verified by bounded concrete enumeration (node budget)\n", n)
+	}
 	if *stats {
 		fmt.Printf("flows: %d input, %d executed\n", rep.FlowsTotal, rep.FlowsExecuted)
+		for _, f := range rep.DegradedFlows {
+			fmt.Printf("  degraded to concrete enumeration: %s\n", f)
+		}
+		if len(rep.Unchecked) > 0 {
+			fmt.Printf("unchecked links: %d\n", len(rep.Unchecked))
+		}
+		if len(rep.UncheckedDelivered) > 0 {
+			fmt.Printf("unchecked delivered bounds: %d\n", len(rep.UncheckedDelivered))
+		}
 		if rep.MTBDDNodes > 0 {
 			fmt.Printf("MTBDD nodes: %d\n", rep.MTBDDNodes)
 		}
@@ -141,9 +197,16 @@ func cmdVerify(args []string) {
 			}
 		}
 	}
-	if !rep.Holds {
+	if err != nil || !rep.Holds {
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func cmdShow(args []string) {

@@ -67,8 +67,12 @@ func main() {
 			return nil
 		},
 		"table1": func() error {
+			spec, err := paperex.MotivatingSpec()
+			if err != nil {
+				return err
+			}
 			bench.Table1(os.Stdout, map[string]*config.Spec{
-				"motivating (SR+iBGP)": paperex.MustMotivating(),
+				"motivating (SR+iBGP)": spec,
 			})
 			return nil
 		},

@@ -1,0 +1,126 @@
+// Acceptance tests for the resource-governance surface of the public
+// API: typed cancellation and budget errors, partial reports, and the
+// symbolic→concrete degradation ladder.
+package yu
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestVerifyPreCanceledContext: a context canceled before Verify starts
+// must return ErrCanceled with a partial report, not a panic or a hang.
+func TestVerifyPreCanceledContext(t *testing.T) {
+	n := loadMotivating(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := n.Verify(VerifyOptions{OverloadFactor: 0.95, Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if rep == nil || !rep.Incomplete {
+		t.Fatalf("want partial report with Incomplete set, got %+v", rep)
+	}
+	if rep.Holds {
+		t.Fatal("incomplete report claims Holds")
+	}
+	if len(rep.Unchecked) == 0 {
+		t.Fatal("partial report does not name the unchecked links")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("%d violations from a run that checked nothing", len(rep.Violations))
+	}
+}
+
+// TestVerifyDeadline: an already-expired deadline surfaces as
+// ErrDeadline (distinct from plain cancellation).
+func TestVerifyDeadline(t *testing.T) {
+	n := loadMotivating(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rep, err := n.Verify(VerifyOptions{OverloadFactor: 0.95, Ctx: ctx})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatal("deadline expiry must not match ErrCanceled")
+	}
+	if rep == nil || !rep.Incomplete {
+		t.Fatalf("want partial report, got %+v", rep)
+	}
+}
+
+// TestVerifyNodeBudgetFail: a 1-node budget under the default fail
+// policy returns ErrNodeBudget with a partial report.
+func TestVerifyNodeBudgetFail(t *testing.T) {
+	n := loadMotivating(t)
+	rep, err := n.Verify(VerifyOptions{OverloadFactor: 0.95, MaxNodes: 1})
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Fatalf("err = %v, want ErrNodeBudget", err)
+	}
+	if rep == nil || !rep.Incomplete || rep.Holds {
+		t.Fatalf("want partial non-Holds report, got %+v", rep)
+	}
+}
+
+// TestVerifyNodeBudgetDegrade: the degrade policy must deliver the
+// enumerating baseline's verdict without error, whatever the budget.
+func TestVerifyNodeBudgetDegrade(t *testing.T) {
+	n := loadMotivating(t)
+	base, err := n.Verify(VerifyOptions{OverloadFactor: 0.95, Engine: EngineEnumerate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 64, 4000} {
+		rep, err := n.Verify(VerifyOptions{
+			OverloadFactor: 0.95, MaxNodes: budget, OnBudget: BudgetDegrade,
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if rep.Incomplete {
+			// The motivating example is small enough that the ladder must
+			// always terminate in a full verdict.
+			t.Fatalf("budget=%d: degraded run left the report incomplete", budget)
+		}
+		if rep.Holds != base.Holds {
+			t.Fatalf("budget=%d: Holds=%v, baseline says %v", budget, rep.Holds, base.Holds)
+		}
+		if got, want := violatedLinks(t, n, rep), violatedLinks(t, n, base); !equalStrings(got, want) {
+			t.Fatalf("budget=%d: violated links %v, baseline %v", budget, got, want)
+		}
+	}
+}
+
+// violatedLinks renders a report's link-load violations to sorted,
+// deduplicated link names.
+func violatedLinks(t *testing.T, n *Network, rep *Report) []string {
+	t.Helper()
+	set := make(map[string]bool)
+	for _, v := range rep.Violations {
+		if v.Kind == "link-load" {
+			set[n.Topology().DirLinkName(v.Link)] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -114,7 +114,10 @@ func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.Failure
 	routeTime := time.Since(start)
 	eng := core.NewEngine(rs, opts)
 	ver := core.NewParallelVerifier(eng, flows, workers)
-	rep := ver.Run(nil, nil, overload)
+	rep, err := ver.Run(nil, nil, overload)
+	if err != nil {
+		return nil, err
+	}
 	return &YURun{
 		Elapsed:    time.Since(start),
 		RouteTime:  routeTime,

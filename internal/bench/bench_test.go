@@ -11,9 +11,19 @@ import (
 	"github.com/yu-verify/yu/internal/topo"
 )
 
+
+func mustSpec(t testing.TB, load func() (*config.Spec, error)) *config.Spec {
+	t.Helper()
+	spec, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
-	Table1(&buf, map[string]*config.Spec{"motivating": paperex.MustMotivating()})
+	Table1(&buf, map[string]*config.Spec{"motivating": mustSpec(t, paperex.MotivatingSpec)})
 	out := buf.String()
 	for _, want := range []string{"QARC", "Jingubang", "YU", "faithful on motivating: false"} {
 		if !strings.Contains(out, want) {

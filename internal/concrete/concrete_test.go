@@ -1,4 +1,4 @@
-package concrete
+package concrete_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/concrete"
 	"github.com/yu-verify/yu/internal/core"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/paperex"
@@ -15,9 +16,18 @@ import (
 
 func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
 
-func failLinks(t *testing.T, net *topo.Network, names ...string) *Scenario {
+func mustSpec(t *testing.T, load func() (*config.Spec, error)) *config.Spec {
 	t.Helper()
-	sc := NewScenario(net)
+	spec, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func failLinks(t *testing.T, net *topo.Network, names ...string) *concrete.Scenario {
+	t.Helper()
+	sc := concrete.NewScenario(net)
 	for _, name := range names {
 		var a, b string
 		for i := 0; i < len(name); i++ {
@@ -34,7 +44,7 @@ func failLinks(t *testing.T, net *topo.Network, names ...string) *Scenario {
 	return sc
 }
 
-func loadOf(t *testing.T, net *topo.Network, res *ScenarioResult, a, b string) float64 {
+func loadOf(t *testing.T, net *topo.Network, res *concrete.ScenarioResult, a, b string) float64 {
 	t.Helper()
 	d, ok := net.FindDirLink(a, b)
 	if !ok {
@@ -46,11 +56,11 @@ func loadOf(t *testing.T, net *topo.Network, res *ScenarioResult, a, b string) f
 // TestConcreteMotivatingScenarios reproduces Figure 1(a)-(e) with the
 // concrete simulator.
 func TestConcreteMotivatingScenarios(t *testing.T) {
-	spec := paperex.MustMotivating()
-	sim := NewSim(spec.Net, spec.Configs)
+	spec := mustSpec(t, paperex.MotivatingSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
 
 	// (a) no failures.
-	res := sim.Simulate(NewScenario(spec.Net), spec.Flows)
+	res := sim.Simulate(concrete.NewScenario(spec.Net), spec.Flows)
 	for _, c := range []struct {
 		a, b string
 		want float64
@@ -104,7 +114,7 @@ func TestDifferentialSymbolicVsConcrete(t *testing.T) {
 			}
 			eng := core.NewEngine(rs, core.Options{DisableGlobalEquiv: true})
 			ver := core.NewVerifier(eng, spec.Flows)
-			sim := NewSim(spec.Net, spec.Configs)
+			sim := concrete.NewSim(spec.Net, spec.Configs)
 
 			// Enumerate all scenarios with <= k failed links.
 			var failable []topo.LinkID
@@ -122,7 +132,7 @@ func TestDifferentialSymbolicVsConcrete(t *testing.T) {
 				}
 			}
 			for _, failed := range scenarios {
-				sc := NewScenario(spec.Net)
+				sc := concrete.NewScenario(spec.Net)
 				for _, l := range failed {
 					sc.LinkDown[l] = true
 				}
@@ -160,9 +170,9 @@ func TestDifferentialSymbolicVsConcrete(t *testing.T) {
 // TestEnumerationFindsPaperViolation checks the baseline verifier finds
 // the B-D failure overload, matching YU.
 func TestEnumerationFindsPaperViolation(t *testing.T) {
-	spec := paperex.MustMotivating()
-	sim := NewSim(spec.Net, spec.Configs)
-	rep := sim.VerifyKFailures(spec.Flows, 1, topo.FailLinks, EnumOptions{OverloadFactor: 0.95})
+	spec := mustSpec(t, paperex.MotivatingSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
+	rep := sim.VerifyKFailures(spec.Flows, 1, topo.FailLinks, concrete.EnumOptions{OverloadFactor: 0.95})
 	if rep.Holds {
 		t.Fatal("expected violations")
 	}
@@ -200,11 +210,11 @@ func TestIncrementalMatchesFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := NewSim(spec.Net, spec.Configs)
+		sim := concrete.NewSim(spec.Net, spec.Configs)
 		full := sim.VerifyKFailures(spec.Flows, 2, topo.FailLinks,
-			EnumOptions{OverloadFactor: 1.0, Delivered: spec.Delivered})
+			concrete.EnumOptions{OverloadFactor: 1.0, Delivered: spec.Delivered})
 		inc := sim.VerifyKFailures(spec.Flows, 2, topo.FailLinks,
-			EnumOptions{OverloadFactor: 1.0, Delivered: spec.Delivered, Incremental: true})
+			concrete.EnumOptions{OverloadFactor: 1.0, Delivered: spec.Delivered, Incremental: true})
 		if full.Holds != inc.Holds || len(full.Violations) != len(inc.Violations) {
 			t.Fatalf("incremental mismatch: full %d violations (holds=%v), inc %d (holds=%v)",
 				len(full.Violations), full.Holds, len(inc.Violations), inc.Holds)
@@ -218,10 +228,10 @@ func TestIncrementalMatchesFull(t *testing.T) {
 // TestMisconfigDropScenario reproduces Figure 10 concretely: failing the
 // D1-WAN link drops the service traffic.
 func TestMisconfigDropScenario(t *testing.T) {
-	spec := paperex.MustMisconfig()
-	sim := NewSim(spec.Net, spec.Configs)
+	spec := mustSpec(t, paperex.MisconfigSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
 	// No failure: traffic delivered.
-	res := sim.Simulate(NewScenario(spec.Net), spec.Flows)
+	res := sim.Simulate(concrete.NewScenario(spec.Net), spec.Flows)
 	if !approx(res.Delivered[0], 100) {
 		t.Fatalf("no-failure delivered = %.6g, want 100", res.Delivered[0])
 	}
@@ -243,9 +253,9 @@ func TestMisconfigDropScenario(t *testing.T) {
 // TestSRAnycastOverload reproduces Figure 9 concretely: failing B2-C2
 // pushes 80 Gbps over the 50 Gbps B1-B2 link.
 func TestSRAnycastOverload(t *testing.T) {
-	spec := paperex.MustSRAnycast()
-	sim := NewSim(spec.Net, spec.Configs)
-	res := sim.Simulate(NewScenario(spec.Net), spec.Flows)
+	spec := mustSpec(t, paperex.SRAnycastSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
+	res := sim.Simulate(concrete.NewScenario(spec.Net), spec.Flows)
 	if got := loadOf(t, spec.Net, res, "B1", "B2") + loadOf(t, spec.Net, res, "B2", "B1"); !approx(got, 0) {
 		t.Fatalf("B1-B2 carries %.6g with no failure, want 0", got)
 	}
@@ -260,9 +270,9 @@ func TestSRAnycastOverload(t *testing.T) {
 
 // TestDeliveredBoundEnumeration checks delivered-bound handling.
 func TestDeliveredBoundEnumeration(t *testing.T) {
-	spec := paperex.MustMisconfig()
-	sim := NewSim(spec.Net, spec.Configs)
-	rep := sim.VerifyKFailures(spec.Flows, 1, topo.FailLinks, EnumOptions{
+	spec := mustSpec(t, paperex.MisconfigSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
+	rep := sim.VerifyKFailures(spec.Flows, 1, topo.FailLinks, concrete.EnumOptions{
 		Delivered: []topo.DeliveredBound{{Prefix: netip.MustParsePrefix("10.1.0.0/26"), Min: 99, Max: math.Inf(1)}},
 	})
 	if rep.Holds {
@@ -282,10 +292,10 @@ func TestDeliveredBoundEnumeration(t *testing.T) {
 
 // TestStopAtFirst checks early termination.
 func TestStopAtFirst(t *testing.T) {
-	spec := paperex.MustMotivating()
-	sim := NewSim(spec.Net, spec.Configs)
+	spec := mustSpec(t, paperex.MotivatingSpec)
+	sim := concrete.NewSim(spec.Net, spec.Configs)
 	rep := sim.VerifyKFailures(spec.Flows, 1, topo.FailLinks,
-		EnumOptions{OverloadFactor: 0.95, StopAtFirst: true})
+		concrete.EnumOptions{OverloadFactor: 0.95, StopAtFirst: true})
 	if len(rep.Violations) != 1 {
 		t.Errorf("violations = %d, want exactly 1", len(rep.Violations))
 	}

@@ -1,10 +1,13 @@
 package concrete
 
 import (
+	"context"
+	"errors"
 	"math"
 	"net/netip"
 	"time"
 
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -31,6 +34,10 @@ type EnumReport struct {
 	// TimedOut is set when the deadline expired before the enumeration
 	// finished; Holds is then meaningless.
 	TimedOut bool
+	// Err is the governance error that cut the enumeration short
+	// (govern.ErrCanceled / govern.ErrDeadline); nil on a full run.
+	// Holds is meaningless when Err is non-nil.
+	Err error
 }
 
 // EnumOptions configures enumeration.
@@ -51,7 +58,13 @@ type EnumOptions struct {
 	OverloadFactor float64
 	Bounds         []topo.LoadBound
 	Delivered      []topo.DeliveredBound
+	// Ctx, when non-nil, makes the enumeration cancellable; it is polled
+	// periodically between scenarios.
+	Ctx context.Context
 	// Deadline, when nonzero, aborts the enumeration once passed.
+	//
+	// Deprecated: carried as context.WithDeadline on Ctx; prefer setting
+	// a deadline on Ctx directly.
 	Deadline time.Time
 }
 
@@ -60,6 +73,8 @@ type EnumOptions struct {
 // O(n^k) baseline the paper compares against.
 func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, opts EnumOptions) *EnumReport {
 	rep := &EnumReport{Holds: true}
+	ctx, cancel := govern.WithDeadline(opts.Ctx, opts.Deadline)
+	defer cancel()
 
 	var elems []elem
 	if mode == topo.FailLinks || mode == topo.FailBoth {
@@ -135,9 +150,12 @@ func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, o
 
 	var visit func(start, budget int) bool
 	check := func() bool {
-		if !opts.Deadline.IsZero() && rep.Scenarios%64 == 0 && time.Now().After(opts.Deadline) {
-			rep.TimedOut = true
-			return false
+		if rep.Scenarios%64 == 0 {
+			if err := govern.Check(ctx); err != nil {
+				rep.Err = err
+				rep.TimedOut = errors.Is(err, govern.ErrDeadline)
+				return false
+			}
 		}
 		rep.Scenarios++
 		var res *ScenarioResult

@@ -20,6 +20,17 @@ type fixture struct {
 	ver  *Verifier
 }
 
+// mustRun fails the test on a governance error from Verifier.Run (tests
+// that exercise governance handle the error themselves).
+func mustRun(t testing.TB, run func() (*Report, error)) *Report {
+	t.Helper()
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func newFixture(t testing.TB, specText string, mode topo.FailureMode, k int, opts Options) *fixture {
 	t.Helper()
 	spec, err := config.ParseSpecString(specText)
@@ -338,7 +349,7 @@ func TestLinkLocalEquivalence(t *testing.T) {
 func TestGlobalEquivalence(t *testing.T) {
 	spec := paperex.Motivating + "\nflow f3 ingress B src 11.0.0.3 dst 100.0.0.9 dscp 5 gbps 5\n"
 	fx := newFixture(t, spec, topo.FailLinks, 1, Options{})
-	rep := fx.ver.Run(nil, nil, 0)
+	rep := mustRun(t, func() (*Report, error) { return fx.ver.Run(nil, nil, 0) })
 	if rep.FlowsTotal != 3 {
 		t.Fatalf("FlowsTotal = %d", rep.FlowsTotal)
 	}
@@ -352,7 +363,7 @@ func TestGlobalEquivalence(t *testing.T) {
 	}
 	// Ablation: all three executed.
 	fx2 := newFixture(t, spec, topo.FailLinks, 1, Options{DisableGlobalEquiv: true})
-	rep2 := fx2.ver.Run(nil, nil, 0)
+	rep2 := mustRun(t, func() (*Report, error) { return fx2.ver.Run(nil, nil, 0) })
 	if rep2.FlowsExecuted != 3 {
 		t.Errorf("ablation FlowsExecuted = %d, want 3", rep2.FlowsExecuted)
 	}
@@ -431,8 +442,8 @@ func contains(s, sub string) bool {
 func TestAggressiveGCDoesNotChangeResults(t *testing.T) {
 	base := newFixture(t, paperex.Motivating, topo.FailLinks, 2, Options{})
 	gcd := newFixture(t, paperex.Motivating, topo.FailLinks, 2, Options{GCThreshold: 1})
-	repA := base.ver.Run(nil, nil, 0.95)
-	repB := gcd.ver.Run(nil, nil, 0.95)
+	repA := mustRun(t, func() (*Report, error) { return base.ver.Run(nil, nil, 0.95) })
+	repB := mustRun(t, func() (*Report, error) { return gcd.ver.Run(nil, nil, 0.95) })
 	if repA.Holds != repB.Holds || len(repA.Violations) != len(repB.Violations) {
 		t.Fatalf("GC changed the verdict: %d vs %d violations", len(repA.Violations), len(repB.Violations))
 	}

@@ -13,14 +13,32 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"strconv"
 	"strings"
 
+	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
+)
+
+// BudgetPolicy selects the engine's response to an MTBDD node-budget
+// breach that a managed GC could not relieve.
+type BudgetPolicy int
+
+const (
+	// BudgetFail aborts the run with govern.ErrNodeBudget; the Report
+	// returned alongside it is partial (completed checks are kept, the
+	// remainder is marked unchecked).
+	BudgetFail BudgetPolicy = iota
+	// BudgetDegrade walks the degradation ladder instead of failing: a
+	// breaching flow is re-verified by bounded concrete enumeration
+	// (requires Options.Configs), and a breaching link check is skipped
+	// and listed as unchecked.
+	BudgetDegrade
 )
 
 // Options tunes the engine; the zero value enables every optimization.
@@ -48,6 +66,23 @@ type Options struct {
 	// GCThreshold is the live MTBDD node count that triggers a managed
 	// garbage collection between flow executions (0 = default ~4M).
 	GCThreshold int
+	// Ctx, when non-nil, makes the run cancellable: it is polled inside
+	// MTBDD operations (via the manager interrupt hook) and at per-flow
+	// and per-link boundaries. Cancellation surfaces as
+	// govern.ErrCanceled / govern.ErrDeadline from Verifier.Run.
+	Ctx context.Context
+	// NodeBudget, when > 0, bounds the live nodes of every manager the
+	// pipeline creates (the primary and each shard's). A breach first
+	// triggers a managed GC and one retry; what happens if the retry
+	// still breaches is decided by OnBudget.
+	NodeBudget int
+	// OnBudget selects the response to an unrelieved budget breach.
+	OnBudget BudgetPolicy
+	// Configs enables the concrete per-flow fallback of BudgetDegrade
+	// (the router configurations are needed to build a concrete
+	// simulator). Without it a breaching flow is a hard error even when
+	// degrading.
+	Configs config.Configs
 }
 
 // Engine executes flows symbolically against one route-simulation result.
@@ -79,6 +114,7 @@ func NewEngine(rs *routesim.Result, opts Options) *Engine {
 		ipCache:  make(map[ipKey]*step),
 		srCache:  make(map[srKey]*step),
 	}
+	installGovernance(e.m, opts)
 	e.classifier = newClassifier(rs)
 	e.maxIter = opts.MaxIterations
 	if e.maxIter <= 0 {

@@ -27,6 +27,9 @@ type FlowSTF struct {
 	InFlight *mtbdd.Node
 	// Iterations is the number of hops executed.
 	Iterations int
+	// Degraded marks an STF rebuilt by the bounded concrete fallback
+	// (rung 3 of the degradation ladder) rather than symbolic execution.
+	Degraded bool
 }
 
 // inKey identifies a wavefront cell: traffic arriving at a router with a

@@ -78,11 +78,19 @@ func (e *Engine) maybeGC(stfs []*FlowSTF, extra []*mtbdd.Node) {
 			e.gcThreshold = defaultGCThreshold
 		}
 	}
+	// Under a node budget, collect before the budget would trip: the
+	// budget unwinds mid-operation, a collection here is free.
+	if b := e.opts.NodeBudget; b > 0 && e.gcThreshold > b/2 {
+		e.gcThreshold = b / 2
+		if e.gcThreshold < 1 {
+			e.gcThreshold = 1
+		}
+	}
 	if e.m.Stats().Live < e.gcThreshold {
 		return
 	}
 	e.m.GC(e.roots(stfRoots(extra, stfs)))
-	if live := e.m.Stats().Live; live*2 > e.gcThreshold {
+	if live := e.m.Stats().Live; live*2 > e.gcThreshold && e.opts.NodeBudget <= 0 {
 		e.gcThreshold = live * 4
 	}
 }

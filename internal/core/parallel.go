@@ -25,16 +25,23 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
 )
+
+// testExecHook, when non-nil, runs before each sharded flow execution.
+// It is a test seam: injecting a panic here exercises the worker
+// containment path without corrupting any real state.
+var testExecHook func(topo.Flow)
 
 // shardGCThreshold is the live-node count that triggers a shard-local GC
 // in a link-check worker. Nothing is retained across links, so the roots
@@ -76,41 +83,114 @@ func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
 	}
 
 	stfs := make([]*FlowSTF, len(merged))
+	shardErrs := make([]error, shards)
+	type span struct{ lo, hi int }
+	spans := make([]span, shards)
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		lo := w * len(merged) / shards
 		hi := (w + 1) * len(merged) / shards
+		spans[w] = span{lo, hi}
 		if lo == hi {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			// Private manager with the same variable order; the guarded
 			// RIBs are imported, never shared. The primary manager is
 			// only read (node fields are immutable), which is safe while
-			// the main goroutine blocks in Wait.
-			mW := mtbdd.New()
-			fvW := routesim.NewFailVars(mW, e.net, e.fv.Mode, e.fv.K)
-			engW := NewEngine(e.rs.ImportInto(fvW), wopts)
-			local := make([]*FlowSTF, 0, hi-lo)
-			for i := lo; i < hi; i++ {
-				s := engW.ExecuteFlow(merged[i])
-				local = append(local, s)
-				stfs[i] = s
-				engW.maybeGC(local, nil)
+			// the main goroutine blocks in Wait. Governance must be armed
+			// before ImportInto — NewEngine would install it only after
+			// the import has already run ungoverned.
+			var werr error
+			cerr := contained(func() {
+				mW := mtbdd.New()
+				installGovernance(mW, wopts)
+				fvW := routesim.NewFailVars(mW, e.net, e.fv.Mode, e.fv.K)
+				engW := NewEngine(e.rs.ImportInto(fvW), wopts)
+				local := make([]*FlowSTF, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					if testExecHook != nil {
+						testExecHook(merged[i])
+					}
+					s, err := engW.executeGoverned(merged[i], local)
+					if err != nil {
+						werr = err
+						return
+					}
+					local = append(local, s)
+					stfs[i] = s
+				}
+			})
+			if cerr != nil {
+				werr = cerr
 			}
-		}(lo, hi)
+			shardErrs[w] = werr
+		}(w, lo, hi)
 	}
 	wg.Wait()
 
-	// Merge: rebuild every shard STF in the primary manager, in execution
-	// order, garbage-collecting as the unique table fills.
-	v.stfs = make([]*FlowSTF, len(merged))
-	for i, s := range stfs {
-		v.stfs[i] = importSTF(e.m, s)
-		e.maybeGC(v.stfs[:i+1], nil)
+	// Shard triage. Per-flow budget breaches were already handled inside
+	// executeGoverned (GC + retry + concrete fallback); an error reaching
+	// here is a cancellation, a contained panic, a breach under the fail
+	// policy — or a breach during shard setup (ImportInto), where a
+	// same-budget retry would deterministically breach again, so under
+	// the degrade policy the shard's flows go straight to the bounded
+	// concrete fallback on the primary engine.
+	for w, werr := range shardErrs {
+		if werr == nil {
+			continue
+		}
+		if errors.Is(werr, govern.ErrNodeBudget) && e.opts.OnBudget == BudgetDegrade {
+			for i := spans[w].lo; i < spans[w].hi && v.err == nil; i++ {
+				if stfs[i] != nil {
+					continue
+				}
+				s, ferr := e.concreteFallbackSTF(merged[i], werr)
+				if ferr != nil {
+					v.err = ferr
+					break
+				}
+				stfs[i] = s
+			}
+		} else if v.err == nil {
+			v.err = werr
+		}
 	}
+	if v.err != nil {
+		v.execCount = 0
+		return v
+	}
+
+	// Merge: rebuild every shard STF in the primary manager, in execution
+	// order, garbage-collecting as the unique table fills. The merge runs
+	// under the same budget ladder as execution: GC + retry on a breach,
+	// then (degrade policy) a concrete rebuild of the offending flow.
+	v.stfs = make([]*FlowSTF, 0, len(merged))
+	for i, s := range stfs {
+		var out *FlowSTF
+		attempt := func() error {
+			return mtbdd.Guard(func() {
+				out = importSTF(e.m, s)
+				e.maybeGC(v.stfs, stfRoots(nil, []*FlowSTF{out}))
+			})
+		}
+		merr := attempt()
+		if merr != nil && errors.Is(merr, govern.ErrNodeBudget) {
+			e.m.GC(e.roots(stfRoots(nil, v.stfs)))
+			merr = attempt()
+		}
+		if merr != nil && errors.Is(merr, govern.ErrNodeBudget) && e.opts.OnBudget == BudgetDegrade {
+			out, merr = e.concreteFallbackSTF(merged[i], merr)
+		}
+		if merr != nil {
+			v.err = merr
+			break
+		}
+		v.stfs = append(v.stfs, out)
+	}
+	v.execCount = len(v.stfs)
 	return v
 }
 
@@ -123,11 +203,22 @@ func importSTF(m *mtbdd.Manager, s *FlowSTF) *FlowSTF {
 		Dropped:    m.Import(s.Dropped),
 		InFlight:   m.Import(s.InFlight),
 		Iterations: s.Iterations,
+		Degraded:   s.Degraded,
 	}
 	for l, w := range s.Links {
 		out.Links[l] = m.Import(w)
 	}
 	return out
+}
+
+// linkRes is one directed link's check outcome in the parallel pool.
+// done distinguishes a completed check from one that was skipped (budget
+// degrade) or never ran (cancellation stopped the pool first) — both of
+// the latter leave the link unchecked in the report.
+type linkRes struct {
+	stat  LinkCheckStat
+	viols []Violation
+	done  bool
 }
 
 // checkOverloadAllParallel is the concurrent counterpart of
@@ -136,7 +227,13 @@ func importSTF(m *mtbdd.Manager, s *FlowSTF) *FlowSTF {
 // and per-link results are written into a slot array so the final
 // accumulation order — and therefore the Report — matches the sequential
 // path exactly.
-func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) {
+//
+// The pool is governed: each worker polls the context between links, a
+// budget breach on a shard retries once after a shard GC and then (under
+// the degrade policy) leaves the link unchecked, and any worker panic is
+// contained into an error. The first fatal error stops the pool; links
+// without a completed verdict are recorded as Unchecked.
+func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) error {
 	net := v.e.net
 	type job struct {
 		l     topo.DirLinkID
@@ -150,38 +247,70 @@ func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) {
 			jobs = append(jobs, job{topo.MakeDirLinkID(link.ID, d), limit})
 		}
 	}
-	type linkRes struct {
-		stat  LinkCheckStat
-		viols []Violation
-	}
 	results := make([]linkRes, len(jobs))
 	workers := v.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var cursor atomic.Int64
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := newShardChecker(v)
-			for {
+			var c *shardChecker
+			if err := contained(func() { c = newShardChecker(v) }); err != nil {
+				// A budget so tight the shard's FailVars cannot even be
+				// built: under the degrade policy the shard bows out (its
+				// links end up unchecked via other workers or not at all);
+				// otherwise it is fatal.
+				if !errors.Is(err, govern.ErrNodeBudget) || v.e.opts.OnBudget != BudgetDegrade {
+					fail(err)
+				}
+				return
+			}
+			for !stop.Load() {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
-				stat, viols := c.checkLink(jobs[i].l, jobs[i].limit)
-				results[i] = linkRes{stat, viols}
+				if err := govern.Check(v.e.opts.Ctx); err != nil {
+					fail(err)
+					return
+				}
+				done, err := c.checkLinkGoverned(jobs[i].l, jobs[i].limit, &results[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i].done = done
 				c.maybeGC()
 			}
 		}()
 	}
 	wg.Wait()
 	for i := range results {
-		rep.LinkStats = append(rep.LinkStats, results[i].stat)
-		rep.Violations = append(rep.Violations, results[i].viols...)
+		if results[i].done {
+			rep.LinkStats = append(rep.LinkStats, results[i].stat)
+			rep.Violations = append(rep.Violations, results[i].viols...)
+		} else {
+			rep.markUnchecked(jobs[i].l)
+		}
 	}
+	return firstErr
 }
 
 // shardChecker checks directed links in a private manager. It imports the
@@ -196,8 +325,33 @@ type shardChecker struct {
 
 func newShardChecker(v *Verifier) *shardChecker {
 	m := mtbdd.New()
+	installGovernance(m, v.e.opts)
 	fv := routesim.NewFailVars(m, v.e.net, v.e.fv.Mode, v.e.fv.K)
 	return &shardChecker{v: v, m: m, fv: fv}
+}
+
+// checkLinkGoverned runs one link check through the budget ladder on the
+// shard's private manager: a breach triggers a full shard GC (nothing is
+// retained between links) and one retry; a retry that still breaches is
+// reported as skipped under the degrade policy, fatal otherwise.
+func (c *shardChecker) checkLinkGoverned(l topo.DirLinkID, limit float64, res *linkRes) (bool, error) {
+	attempt := func() error {
+		return mtbdd.Guard(func() {
+			res.stat, res.viols = c.checkLink(l, limit)
+		})
+	}
+	err := attempt()
+	if err != nil && errors.Is(err, govern.ErrNodeBudget) {
+		c.m.GC(nil)
+		err = attempt()
+	}
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, govern.ErrNodeBudget) && c.v.e.opts.OnBudget == BudgetDegrade {
+		return false, nil
+	}
+	return false, err
 }
 
 // maybeGC collects the shard manager between links. Nothing survives a

@@ -83,10 +83,10 @@ func reportsEqual(t *testing.T, name string, seq, par *Report) {
 func runBoth(t *testing.T, name string, spec *config.Spec, flows []topo.Flow, mode topo.FailureMode, k int, opts Options, overload float64, delivered []topo.DeliveredBound) {
 	t.Helper()
 	seqEng := buildEngine(t, spec, mode, k, opts)
-	seq := NewVerifier(seqEng, flows).Run(spec.Props, delivered, overload)
+	seq := mustRun(t, func() (*Report, error) { return NewVerifier(seqEng, flows).Run(spec.Props, delivered, overload) })
 
 	parEng := buildEngine(t, spec, mode, k, opts)
-	par := NewParallelVerifier(parEng, flows, 4).Run(spec.Props, delivered, overload)
+	par := mustRun(t, func() (*Report, error) { return NewParallelVerifier(parEng, flows, 4).Run(spec.Props, delivered, overload) })
 
 	reportsEqual(t, name, seq, par)
 }
@@ -177,7 +177,7 @@ func TestParallelWorkerFloor(t *testing.T) {
 		if v.workers != 1 {
 			t.Fatalf("workers=%d should use the sequential path", w)
 		}
-		rep := v.Run(nil, nil, 1.0)
+		rep := mustRun(t, func() (*Report, error) { return v.Run(nil, nil, 1.0) })
 		if rep.FlowsTotal != len(spec.Flows) {
 			t.Fatalf("unexpected flow count %d", rep.FlowsTotal)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"net/netip"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
@@ -96,6 +98,44 @@ type Report struct {
 	FlowsExecuted int
 	// FlowsTotal is the number of input flows.
 	FlowsTotal int
+	// Incomplete is set when the run was cut short (cancellation,
+	// deadline, budget breach) or some checks were skipped under the
+	// degrade policy. Holds is never true on an incomplete report.
+	Incomplete bool
+	// Unchecked lists the directed links whose load checks did not run
+	// to completion; their verdicts are unknown.
+	Unchecked []topo.DirLinkID
+	// UncheckedDelivered lists delivered-bound prefixes whose checks did
+	// not complete.
+	UncheckedDelivered []netip.Prefix
+	// DegradedFlows names the flows whose STFs were rebuilt by the
+	// bounded concrete fallback instead of symbolic execution.
+	DegradedFlows []string
+}
+
+// markUnchecked records a directed link as unchecked (deduplicated) and
+// flags the report incomplete.
+func (rep *Report) markUnchecked(l topo.DirLinkID) {
+	for _, u := range rep.Unchecked {
+		if u == l {
+			rep.Incomplete = true
+			return
+		}
+	}
+	rep.Unchecked = append(rep.Unchecked, l)
+	rep.Incomplete = true
+}
+
+// markUncheckedDelivered records a delivered-bound prefix as unchecked.
+func (rep *Report) markUncheckedDelivered(pfx netip.Prefix) {
+	for _, u := range rep.UncheckedDelivered {
+		if u == pfx {
+			rep.Incomplete = true
+			return
+		}
+	}
+	rep.UncheckedDelivered = append(rep.UncheckedDelivered, pfx)
+	rep.Incomplete = true
 }
 
 // Verifier aggregates per-flow STFs into per-link symbolic traffic loads
@@ -109,7 +149,14 @@ type Verifier struct {
 	// workers > 1 enables the concurrent link-checking pool (see
 	// CheckOverloadAll); 1 (or 0) is the exact sequential legacy path.
 	workers int
+	// err is the first fatal error hit while executing flows (cancel,
+	// deadline, unrecoverable budget breach, contained panic). Run
+	// surfaces it with a partial report.
+	err error
 }
+
+// Err returns the fatal error recorded during flow execution, if any.
+func (v *Verifier) Err() error { return v.err }
 
 // mergeFlows applies global flow equivalence (§6): flows entering at the
 // same router with the same destination class and DSCP forward identically
@@ -143,13 +190,19 @@ func mergeFlows(e *Engine, flows []topo.Flow) []topo.Flow {
 
 // NewVerifier executes all flows symbolically (applying global flow
 // equivalence unless disabled) and returns a Verifier ready to check
-// properties.
+// properties. Execution is governed: a cancellation or an unrecoverable
+// budget breach stops the loop and is surfaced from Run (or Err) with
+// the flows executed so far intact.
 func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
 	v := &Verifier{e: e, flows: flows, workers: 1}
 	for _, f := range mergeFlows(e, flows) {
-		v.stfs = append(v.stfs, e.ExecuteFlow(f))
+		s, err := e.executeGoverned(f, v.stfs)
+		if err != nil {
+			v.err = err
+			break
+		}
+		v.stfs = append(v.stfs, s)
 		v.execCount++
-		e.maybeGC(v.stfs, nil)
 	}
 	return v
 }
@@ -304,21 +357,28 @@ func (v *Verifier) ViolatingScenarios(tau *mtbdd.Node, min, max float64, limit i
 // CheckBound verifies one explicit load bound; directed bounds check one
 // direction, undirected bounds check both directions independently.
 func (v *Verifier) CheckBound(b topo.LoadBound, rep *Report) {
-	dirs := []topo.Direction{topo.AtoB, topo.BtoA}
-	if b.DirSpecified {
-		dirs = []topo.Direction{b.Dir}
+	for _, d := range boundDirs(b) {
+		v.checkBoundDir(topo.MakeDirLinkID(b.Link, d), b, rep)
 	}
-	for _, d := range dirs {
-		l := topo.MakeDirLinkID(b.Link, d)
-		tau, stat := v.LinkLoad(l)
-		rep.LinkStats = append(rep.LinkStats, stat)
-		if a, val, bad := v.checkRange(tau, b.Min, b.Max); bad {
-			links, routers := v.witness(a)
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: "link-load", Link: l, Value: val, Min: b.Min, Max: b.Max,
-				FailedLinks: links, FailedRouters: routers,
-			})
-		}
+}
+
+func boundDirs(b topo.LoadBound) []topo.Direction {
+	if b.DirSpecified {
+		return []topo.Direction{b.Dir}
+	}
+	return []topo.Direction{topo.AtoB, topo.BtoA}
+}
+
+// checkBoundDir verifies one explicit load bound in one direction.
+func (v *Verifier) checkBoundDir(l topo.DirLinkID, b topo.LoadBound, rep *Report) {
+	tau, stat := v.LinkLoad(l)
+	rep.LinkStats = append(rep.LinkStats, stat)
+	if a, val, bad := v.checkRange(tau, b.Min, b.Max); bad {
+		links, routers := v.witness(a)
+		rep.Violations = append(rep.Violations, Violation{
+			Kind: "link-load", Link: l, Value: val, Min: b.Min, Max: b.Max,
+			FailedLinks: links, FailedRouters: routers,
+		})
 	}
 }
 
@@ -348,7 +408,9 @@ func (v *Verifier) CheckDelivered(b topo.DeliveredBound, rep *Report) {
 // partial sums only grow) or the remaining mass cannot reach the limit.
 func (v *Verifier) CheckOverloadAll(factor float64, rep *Report) {
 	if v.workers > 1 {
-		v.checkOverloadAllParallel(factor, rep)
+		if err := v.checkOverloadAllParallel(factor, rep); err != nil && v.err == nil {
+			v.err = err
+		}
 		return
 	}
 	net := v.e.net
@@ -357,21 +419,27 @@ func (v *Verifier) CheckOverloadAll(factor float64, rep *Report) {
 		limit := link.Capacity * factor
 		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
 			l := topo.MakeDirLinkID(link.ID, d)
-			if v.e.opts.DisableEarlyTermination {
-				tau, stat := v.LinkLoad(l)
-				rep.LinkStats = append(rep.LinkStats, stat)
-				if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
-					links, routers := v.witness(a)
-					rep.Violations = append(rep.Violations, Violation{
-						Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
-						FailedLinks: links, FailedRouters: routers,
-					})
-				}
-				continue
-			}
-			v.checkOverloadPruned(l, limit, rep)
+			v.checkOverloadDir(l, limit, rep)
 		}
 	}
+}
+
+// checkOverloadDir checks one directed link against an upper limit,
+// dispatching on the early-termination ablation.
+func (v *Verifier) checkOverloadDir(l topo.DirLinkID, limit float64, rep *Report) {
+	if v.e.opts.DisableEarlyTermination {
+		tau, stat := v.LinkLoad(l)
+		rep.LinkStats = append(rep.LinkStats, stat)
+		if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
+			links, routers := v.witness(a)
+			rep.Violations = append(rep.Violations, Violation{
+				Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
+				FailedLinks: links, FailedRouters: routers,
+			})
+		}
+		return
+	}
+	v.checkOverloadPruned(l, limit, rep)
 }
 
 // checkOverloadPruned checks one directed link against an upper limit
@@ -477,19 +545,157 @@ func (v *Verifier) checkOverloadPruned(l topo.DirLinkID, limit float64, rep *Rep
 	}
 }
 
-// Run checks the given explicit bounds (either slice may be empty) and, if
-// overloadFactor > 0, the all-links overload property.
-func (v *Verifier) Run(bounds []topo.LoadBound, delivered []topo.DeliveredBound, overloadFactor float64) *Report {
-	rep := &Report{FlowsExecuted: v.execCount, FlowsTotal: len(v.flows)}
+// checkItem is one unit of governed property checking: a single
+// directed-link load check or a single delivered bound.
+type checkItem struct {
+	kind  string // "bound", "delivered", "overload"
+	link  topo.DirLinkID
+	bound topo.LoadBound
+	db    topo.DeliveredBound
+	limit float64
+}
+
+// overloadItems lists one check item per directed link for the
+// all-links overload property.
+func (v *Verifier) overloadItems(factor float64) []checkItem {
+	net := v.e.net
+	items := make([]checkItem, 0, 2*net.NumLinks())
+	for li := 0; li < net.NumLinks(); li++ {
+		link := net.Link(topo.LinkID(li))
+		limit := link.Capacity * factor
+		for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+			items = append(items, checkItem{kind: "overload", link: topo.MakeDirLinkID(link.ID, d), limit: limit})
+		}
+	}
+	return items
+}
+
+// checkItems flattens a Run request into its individual check targets.
+func (v *Verifier) checkItems(bounds []topo.LoadBound, delivered []topo.DeliveredBound, overloadFactor float64, includeOverload bool) []checkItem {
+	var items []checkItem
 	for _, b := range bounds {
-		v.CheckBound(b, rep)
+		for _, d := range boundDirs(b) {
+			items = append(items, checkItem{kind: "bound", link: topo.MakeDirLinkID(b.Link, d), bound: b})
+		}
 	}
 	for _, b := range delivered {
-		v.CheckDelivered(b, rep)
+		items = append(items, checkItem{kind: "delivered", db: b})
 	}
-	if overloadFactor > 0 {
-		v.CheckOverloadAll(overloadFactor, rep)
+	if overloadFactor > 0 && includeOverload {
+		items = append(items, v.overloadItems(overloadFactor)...)
 	}
-	rep.Holds = len(rep.Violations) == 0
-	return rep
+	return items
+}
+
+// markItemsUnchecked records every item's target as unchecked.
+func markItemsUnchecked(rep *Report, items []checkItem) {
+	for _, it := range items {
+		if it.kind == "delivered" {
+			rep.markUncheckedDelivered(it.db.Prefix)
+		} else {
+			rep.markUnchecked(it.link)
+		}
+	}
+}
+
+// runGoverned runs one check through the budget ladder, appending its
+// stats and violations to rep only when the check completes. A breached
+// check is retried once after an engine-wide GC; if it still breaches
+// under the degrade policy it is skipped (the caller marks the target
+// unchecked). Other errors — cancellation, deadline, breach under the
+// fail policy — are returned.
+//
+// The check writes into a scratch report because the pruned overload
+// check appends its stat before the range check runs: merging only on
+// success keeps a retried check from appearing twice.
+func (v *Verifier) runGoverned(rep *Report, check func(*Report)) (skipped bool, err error) {
+	if err := govern.Check(v.e.opts.Ctx); err != nil {
+		return false, err
+	}
+	attempt := func() error {
+		scratch := &Report{}
+		err := mtbdd.Guard(func() { check(scratch) })
+		if err == nil {
+			rep.Violations = append(rep.Violations, scratch.Violations...)
+			rep.LinkStats = append(rep.LinkStats, scratch.LinkStats...)
+		}
+		return err
+	}
+	err = attempt()
+	if err == nil || !errors.Is(err, govern.ErrNodeBudget) {
+		return false, err
+	}
+	v.e.m.GC(v.e.roots(stfRoots(nil, v.stfs)))
+	err = attempt()
+	if err == nil || !errors.Is(err, govern.ErrNodeBudget) {
+		return false, err
+	}
+	if v.e.opts.OnBudget != BudgetDegrade {
+		return false, err
+	}
+	return true, nil
+}
+
+// runItem dispatches one check item through runGoverned.
+func (v *Verifier) runItem(it checkItem, rep *Report) (skipped bool, err error) {
+	return v.runGoverned(rep, func(r *Report) {
+		switch it.kind {
+		case "bound":
+			v.checkBoundDir(it.link, it.bound, r)
+		case "delivered":
+			v.CheckDelivered(it.db, r)
+		default:
+			v.checkOverloadDir(it.link, it.limit, r)
+		}
+	})
+}
+
+// Run checks the given explicit bounds (either slice may be empty) and, if
+// overloadFactor > 0, the all-links overload property.
+//
+// Run is governed: on cancellation, deadline expiry, or a node-budget
+// breach under the fail policy it returns the typed error together with
+// a partial report — completed checks keep their verdicts and stats,
+// and every target that did not complete is listed in Unchecked /
+// UncheckedDelivered with Incomplete set. Under the degrade policy a
+// check that cannot fit the budget is skipped the same way but without
+// an error. Holds is never true on an incomplete report.
+func (v *Verifier) Run(bounds []topo.LoadBound, delivered []topo.DeliveredBound, overloadFactor float64) (*Report, error) {
+	rep := &Report{FlowsExecuted: v.execCount, FlowsTotal: len(v.flows)}
+	for _, s := range v.stfs {
+		if s != nil && s.Degraded {
+			rep.DegradedFlows = append(rep.DegradedFlows, s.Flow.String())
+		}
+	}
+	err := v.err
+	if err != nil {
+		// Flow execution already failed: no check can run.
+		markItemsUnchecked(rep, v.checkItems(bounds, delivered, overloadFactor, true))
+	} else {
+		err = v.runChecks(rep, bounds, delivered, overloadFactor)
+	}
+	rep.Holds = len(rep.Violations) == 0 && !rep.Incomplete
+	return rep, err
+}
+
+func (v *Verifier) runChecks(rep *Report, bounds []topo.LoadBound, delivered []topo.DeliveredBound, overloadFactor float64) error {
+	parallelOverload := overloadFactor > 0 && v.workers > 1
+	items := v.checkItems(bounds, delivered, overloadFactor, !parallelOverload)
+	for i, it := range items {
+		skipped, err := v.runItem(it, rep)
+		if err != nil {
+			markItemsUnchecked(rep, items[i:])
+			if parallelOverload {
+				markItemsUnchecked(rep, v.overloadItems(overloadFactor))
+			}
+			return err
+		}
+		if skipped {
+			markItemsUnchecked(rep, items[i:i+1])
+		}
+	}
+	if parallelOverload {
+		return v.checkOverloadAllParallel(overloadFactor, rep)
+	}
+	return nil
 }

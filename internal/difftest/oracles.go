@@ -1,6 +1,8 @@
 package difftest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -37,6 +39,7 @@ func Battery() []Oracle {
 		{"kreduce-soundness", OracleKReduceSoundness},
 		{"witness-revalidation", OracleWitnessRevalidation},
 		{"spec-round-trip", OracleSpecRoundTrip},
+		{"governance", OracleGovernance},
 	}
 }
 
@@ -320,6 +323,101 @@ func OracleSpecRoundTrip(c *Case) error {
 	ra, rb := FormatReport(c.Spec.Net, rep1), FormatReport(n2.Spec().Net, rep2)
 	if ra != rb {
 		return fmt.Errorf("re-parsed spec verifies differently\n--- original ---\n%s--- round-tripped ---\n%s", ra, rb)
+	}
+	return nil
+}
+
+// OracleGovernance exercises the resource-governance surface on every
+// generated case: a pre-canceled context and a 1-node budget must both
+// produce typed errors with partial reports (never a panic or a wrong
+// verdict), and the degrade policy must stay consistent with the
+// enumerating baseline — it may leave targets unchecked, but every verdict
+// it does render must match, and a rerun must render the identical report.
+func OracleGovernance(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	net := c.Spec.Net
+
+	// (1) Pre-canceled context: immediate typed unwind, nothing checked,
+	// nothing claimed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := verifyOpts(c, c.K, 1, yu.EngineYU)
+	opts.Ctx = ctx
+	rep, err := n.Verify(opts)
+	if !errors.Is(err, yu.ErrCanceled) {
+		return fmt.Errorf("pre-canceled ctx: err = %v, want yu.ErrCanceled", err)
+	}
+	if rep == nil || !rep.Incomplete {
+		return fmt.Errorf("pre-canceled ctx: want a partial report with Incomplete set, got %+v", rep)
+	}
+	if len(rep.Violations) != 0 {
+		return fmt.Errorf("pre-canceled ctx: %d violations reported by a run that checked nothing", len(rep.Violations))
+	}
+
+	// (2) One-node budget under the fail policy: typed unwind with a
+	// partial report.
+	opts = verifyOpts(c, c.K, 1, yu.EngineYU)
+	opts.MaxNodes = 1
+	rep, err = n.Verify(opts)
+	if !errors.Is(err, yu.ErrNodeBudget) {
+		return fmt.Errorf("max-nodes=1: err = %v, want yu.ErrNodeBudget", err)
+	}
+	if rep == nil || !rep.Incomplete {
+		return fmt.Errorf("max-nodes=1: want a partial report with Incomplete set, got %+v", rep)
+	}
+
+	// (3) Degrade policy vs the enumerating baseline, at a budget that
+	// forces degradation and one that usually permits symbolic operation.
+	base, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineEnumerate))
+	if err != nil {
+		return err
+	}
+	baseKeys := ViolationKeys(net, base.Violations)
+	for _, budget := range []int{64, 4000} {
+		opts = verifyOpts(c, c.K, 1, yu.EngineYU)
+		opts.MaxNodes = budget
+		opts.OnBudget = yu.BudgetDegrade
+		rep1, err := n.Verify(opts)
+		if err != nil {
+			return fmt.Errorf("degrade budget=%d: %w", budget, err)
+		}
+		rep2, err := n.Verify(opts)
+		if err != nil {
+			return fmt.Errorf("degrade budget=%d rerun: %w", budget, err)
+		}
+		if rep1.Incomplete {
+			return fmt.Errorf("degrade budget=%d: report left incomplete — the ladder must bottom out in a verdict", budget)
+		}
+		if a, b := FormatReport(net, rep1), FormatReport(net, rep2); a != b {
+			return fmt.Errorf("degrade budget=%d is nondeterministic\n--- first ---\n%s--- second ---\n%s", budget, a, b)
+		}
+		// Every degraded-mode verdict must be a baseline verdict...
+		baseSet := make(map[string]bool, len(baseKeys))
+		for _, k := range baseKeys {
+			baseSet[k] = true
+		}
+		degKeys := ViolationKeys(net, rep1.Violations)
+		degSet := make(map[string]bool, len(degKeys))
+		for _, k := range degKeys {
+			if !baseSet[k] {
+				return fmt.Errorf("degrade budget=%d: phantom violation %q not found by the baseline", budget, k)
+			}
+			degSet[k] = true
+		}
+		// ...and every baseline violation on a target the degraded run
+		// actually checked must be reported.
+		unchecked := make(map[string]bool)
+		for _, l := range rep1.Unchecked {
+			unchecked["link-load "+net.DirLinkName(l)] = true
+		}
+		for _, p := range rep1.UncheckedDelivered {
+			unchecked["delivered "+p.String()] = true
+		}
+		for _, k := range baseKeys {
+			if !unchecked[k] && !degSet[k] {
+				return fmt.Errorf("degrade budget=%d: baseline violation %q missed on a checked target", budget, k)
+			}
+		}
 	}
 	return nil
 }

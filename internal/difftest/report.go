@@ -73,5 +73,31 @@ func FormatReport(net *topo.Network, rep *yu.Report) string {
 			fmt.Fprintf(&sb, "  link %s flows %d classes %d\n", net.DirLinkName(st.Link), st.Flows, st.Classes)
 		}
 	}
+	// Governance fields, printed only when set so complete runs keep their
+	// historical rendering.
+	if rep.Incomplete {
+		fmt.Fprintf(&sb, "incomplete true\n")
+	}
+	if len(rep.Unchecked) > 0 {
+		names := make([]string, len(rep.Unchecked))
+		for i, l := range rep.Unchecked {
+			names[i] = net.DirLinkName(l)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "unchecked links %s\n", strings.Join(names, " "))
+	}
+	if len(rep.UncheckedDelivered) > 0 {
+		names := make([]string, len(rep.UncheckedDelivered))
+		for i, p := range rep.UncheckedDelivered {
+			names[i] = p.String()
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "unchecked delivered %s\n", strings.Join(names, " "))
+	}
+	if len(rep.DegradedFlows) > 0 {
+		names := append([]string(nil), rep.DegradedFlows...)
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "degraded flows %s\n", strings.Join(names, " "))
+	}
 	return sb.String()
 }

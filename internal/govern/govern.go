@@ -1,0 +1,63 @@
+// Package govern defines the typed errors and context plumbing of the
+// resource-governance layer: cancellation, deadlines, and MTBDD node
+// budgets. It is a leaf package — every stage of the pipeline (mtbdd,
+// routesim, core, the baselines, and the public yu API) imports it, so a
+// caller can match errors with errors.Is regardless of which stage
+// unwound.
+package govern
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var (
+	// ErrCanceled is returned when a verification run is abandoned
+	// because its context was canceled. The accompanying Report is
+	// partial: completed checks are kept, the rest are marked unchecked.
+	ErrCanceled = errors.New("verification canceled")
+	// ErrDeadline is returned when a verification run exceeds its
+	// context deadline (or a deprecated Deadline option).
+	ErrDeadline = errors.New("verification deadline exceeded")
+	// ErrNodeBudget is returned when an MTBDD manager's live-node budget
+	// is breached and the budget policy is to fail. Degrading policies
+	// catch it internally and walk the fallback ladder instead.
+	ErrNodeBudget = errors.New("mtbdd live-node budget exceeded")
+)
+
+// CtxErr maps the context package's sentinel errors onto the governance
+// errors, leaving any other error (or nil) unchanged.
+func CtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	}
+	return err
+}
+
+// Check polls a context, tolerating nil (a nil context never cancels),
+// and returns the mapped governance error.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return CtxErr(ctx.Err())
+}
+
+// WithDeadline combines a context (nil meaning Background) with a
+// deprecated wall-clock Deadline field: a zero deadline leaves the
+// context alone. The returned cancel function must always be called.
+func WithDeadline(ctx context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, deadline)
+}

@@ -43,6 +43,7 @@ func (m *Manager) importNode(src *Node) *Node {
 	if r, ok := m.importTbl[src]; ok {
 		return r
 	}
+	m.checkInterrupt()
 	var r *Node
 	if src.IsTerminal() {
 		r = m.Const(src.Value)

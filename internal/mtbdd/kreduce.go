@@ -39,6 +39,7 @@ func (m *Manager) kreduce(f *Node, k int32) *Node {
 	if r, ok := m.kreduceTbl.get(f.id, k); ok {
 		return r
 	}
+	m.checkInterrupt()
 	hiK := m.kreduce(f.Hi, k)
 	loK1 := m.kreduce(f.Lo, k-1)
 	var r *Node

@@ -71,6 +71,13 @@ type Manager struct {
 	zero *Node
 	one  *Node
 
+	// Resource governance (see interrupt.go): an optional interrupt
+	// hook polled every interruptStride operations, and an optional
+	// live-node budget checked on node construction.
+	interrupt func() error
+	opTick    uint64
+	budget    int
+
 	// stats
 	created      uint64
 	peakUnique   int
@@ -168,6 +175,8 @@ func (m *Manager) mk(level int32, lo, hi *Node) *Node {
 	if n := m.unique.lookup(level, lo.id, hi.id); n != nil {
 		return n
 	}
+	m.checkInterrupt()
+	m.checkBudget()
 	n := &Node{Level: level, Lo: lo, Hi: hi, id: m.nextID}
 	m.nextID++
 	m.created++

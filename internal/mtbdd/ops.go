@@ -158,6 +158,7 @@ func (m *Manager) apply(op opcode, f, g *Node) *Node {
 		return r
 	}
 	m.applyMisses++
+	m.checkInterrupt()
 
 	// Descend on the smaller (earlier) level.
 	level := f.Level

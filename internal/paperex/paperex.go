@@ -53,13 +53,9 @@ property delivered 100.0.0.0/24 min 70
 failures k 1 mode links
 `
 
-// MustMotivating parses the motivating example spec.
-func MustMotivating() *config.Spec {
-	s, err := config.ParseSpecString(Motivating)
-	if err != nil {
-		panic(err)
-	}
-	return s
+// MotivatingSpec parses the motivating example spec.
+func MotivatingSpec() (*config.Spec, error) {
+	return config.ParseSpecString(Motivating)
 }
 
 // SRAnycast is the Figure 9 use case: traffic from DC1 steered over an SR
@@ -107,13 +103,9 @@ flow dc1dc2 ingress A1 src 10.8.0.1 dst 100.64.0.1 gbps 160
 failures k 1 mode links
 `
 
-// MustSRAnycast parses the Figure 9 spec.
-func MustSRAnycast() *config.Spec {
-	s, err := config.ParseSpecString(SRAnycast)
-	if err != nil {
-		panic(err)
-	}
-	return s
+// SRAnycastSpec parses the Figure 9 spec.
+func SRAnycastSpec() (*config.Spec, error) {
+	return config.ParseSpecString(SRAnycast)
 }
 
 // Misconfig is the Figure 10 use case: D1/D2 configure a discard static
@@ -161,11 +153,7 @@ property delivered 10.1.0.0/26 min 99
 failures k 1 mode links
 `
 
-// MustMisconfig parses the Figure 10 spec.
-func MustMisconfig() *config.Spec {
-	s, err := config.ParseSpecString(Misconfig)
-	if err != nil {
-		panic(err)
-	}
-	return s
+// MisconfigSpec parses the Figure 10 spec.
+func MisconfigSpec() (*config.Spec, error) {
+	return config.ParseSpecString(Misconfig)
 }

@@ -1,9 +1,12 @@
 package routesim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/govern"
+	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -22,6 +25,36 @@ type Result struct {
 // Run performs symbolic route simulation for the network and
 // configurations under the failure variables fv.
 func Run(fv *FailVars, cfgs config.Configs) (*Result, error) {
+	return RunContext(context.Background(), fv, cfgs)
+}
+
+// RunContext is Run with cancellation: a context poll is installed as
+// the manager's interrupt hook for the duration of the simulation (the
+// previous hook is restored on return), so a cancel or deadline unwinds
+// the symbolic computation and surfaces as govern.ErrCanceled or
+// govern.ErrDeadline. A node-budget breach on the manager surfaces as
+// govern.ErrNodeBudget the same way.
+func RunContext(ctx context.Context, fv *FailVars, cfgs config.Configs) (res *Result, err error) {
+	if ctx != nil && ctx != context.Background() {
+		prev := fv.M.SetInterrupt(func() error { return govern.Check(ctx) })
+		defer fv.M.SetInterrupt(prev)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e := mtbdd.AbortError(r); e != nil {
+				res, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := govern.Check(ctx); err != nil {
+		return nil, err
+	}
+	return run(fv, cfgs)
+}
+
+func run(fv *FailVars, cfgs config.Configs) (*Result, error) {
 	net := fv.Net
 	igp := ComputeIGP(fv)
 	bgp := ComputeBGP(fv, cfgs, igp)

@@ -10,10 +10,19 @@ import (
 	"github.com/yu-verify/yu/internal/topo"
 )
 
+func mustSpec(t testing.TB, load func() (*config.Spec, error)) *config.Spec {
+	t.Helper()
+	spec, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 // motivating builds the Figure 1 fixture with the given k.
 func motivating(t testing.TB, k int) (*config.Spec, *Result) {
 	t.Helper()
-	spec := paperex.MustMotivating()
+	spec := mustSpec(t, paperex.MotivatingSpec)
 	m := mtbdd.New()
 	fv := NewFailVars(m, spec.Net, topo.FailLinks, k)
 	res, err := Run(fv, spec.Configs)
@@ -46,7 +55,7 @@ func linkID(t testing.TB, n *topo.Network, a, b string) topo.LinkID {
 }
 
 func TestFailVars(t *testing.T) {
-	spec := paperex.MustMotivating()
+	spec := mustSpec(t, paperex.MotivatingSpec)
 	m := mtbdd.New()
 	fv := NewFailVars(m, spec.Net, topo.FailBoth, 2)
 	if fv.NumVars() != spec.Net.NumLinks()+spec.Net.NumRouters() {
@@ -86,7 +95,7 @@ func TestFailVars(t *testing.T) {
 }
 
 func TestFailVarsLinkOnlyMode(t *testing.T) {
-	spec := paperex.MustMotivating()
+	spec := mustSpec(t, paperex.MotivatingSpec)
 	fv := NewFailVars(mtbdd.New(), spec.Net, topo.FailLinks, 1)
 	if fv.NumVars() != spec.Net.NumLinks() {
 		t.Fatalf("NumVars = %d, want %d", fv.NumVars(), spec.Net.NumLinks())
@@ -323,7 +332,7 @@ func TestSRGuardsMotivating(t *testing.T) {
 }
 
 func TestStaticsAndRedistribution(t *testing.T) {
-	spec := paperex.MustMisconfig()
+	spec := mustSpec(t, paperex.MisconfigSpec)
 	m := mtbdd.New()
 	fv := NewFailVars(m, spec.Net, topo.FailLinks, spec.K)
 	res, err := Run(fv, spec.Configs)
@@ -397,7 +406,7 @@ config A
 func TestKReduceAblationStillSound(t *testing.T) {
 	// K < 0 disables reduction; guards must still evaluate identically on
 	// small-failure scenarios.
-	spec := paperex.MustMotivating()
+	spec := mustSpec(t, paperex.MotivatingSpec)
 	fvOn := NewFailVars(mtbdd.New(), spec.Net, topo.FailLinks, 2)
 	resOn, err := Run(fvOn, spec.Configs)
 	if err != nil {

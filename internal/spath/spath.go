@@ -15,11 +15,14 @@ package spath
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"net/netip"
 	"sort"
 	"time"
 
 	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -109,6 +112,10 @@ type Report struct {
 	Pruned int
 	// TimedOut is set when the deadline expired mid-search.
 	TimedOut bool
+	// Err is the governance error that cut the search short
+	// (govern.ErrCanceled / govern.ErrDeadline); nil on a full search.
+	// Holds is meaningless when Err is non-nil.
+	Err error
 }
 
 // Options configures the search.
@@ -117,7 +124,13 @@ type Options struct {
 	OverloadFactor float64
 	// StopAtFirst halts at the first violation.
 	StopAtFirst bool
+	// Ctx, when non-nil, makes the search cancellable; it is polled
+	// periodically between scenarios.
+	Ctx context.Context
 	// Deadline, when nonzero, aborts the search once passed.
+	//
+	// Deprecated: carried as context.WithDeadline on Ctx; prefer setting
+	// a deadline on Ctx directly.
 	Deadline time.Time
 }
 
@@ -128,6 +141,8 @@ func (m *Model) Verify(k int, opts Options) *Report {
 	if opts.OverloadFactor <= 0 {
 		opts.OverloadFactor = 1
 	}
+	ctx, cancel := govern.WithDeadline(opts.Ctx, opts.Deadline)
+	defer cancel()
 	down := make([]bool, m.net.NumLinks())
 	var chosen []topo.LinkID
 
@@ -140,9 +155,12 @@ func (m *Model) Verify(k int, opts Options) *Report {
 
 	var visit func(start, budget int) bool
 	visit = func(start, budget int) bool {
-		if !opts.Deadline.IsZero() && rep.Scenarios%64 == 0 && time.Now().After(opts.Deadline) {
-			rep.TimedOut = true
-			return false
+		if rep.Scenarios%64 == 0 {
+			if err := govern.Check(ctx); err != nil {
+				rep.Err = err
+				rep.TimedOut = errors.Is(err, govern.ErrDeadline)
+				return false
+			}
 		}
 		load, touched := m.loads(down)
 		rep.Scenarios++

@@ -5,11 +5,22 @@ import (
 	"testing"
 
 	"github.com/yu-verify/yu/internal/concrete"
+	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/flowgen"
 	"github.com/yu-verify/yu/internal/gen"
 	"github.com/yu-verify/yu/internal/paperex"
 	"github.com/yu-verify/yu/internal/topo"
 )
+
+
+func mustSpec(t testing.TB, load func() (*config.Spec, error)) *config.Spec {
+	t.Helper()
+	spec, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
 
 func TestFaithful(t *testing.T) {
 	ft, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
@@ -19,10 +30,10 @@ func TestFaithful(t *testing.T) {
 	if !Faithful(ft) {
 		t.Error("FatTree (pure eBGP) must be inside the QARC model")
 	}
-	if Faithful(paperex.MustMotivating()) {
+	if Faithful(mustSpec(t, paperex.MotivatingSpec)) {
 		t.Error("the motivating example (SR + iBGP) must be outside the QARC model")
 	}
-	if Faithful(paperex.MustMisconfig()) {
+	if Faithful(mustSpec(t, paperex.MisconfigSpec)) {
 		t.Error("the misconfig example (statics + redistribution) must be outside the QARC model")
 	}
 }

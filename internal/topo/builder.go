@@ -182,13 +182,3 @@ func (b *Builder) Build() (*Network, error) {
 	}
 	return n, nil
 }
-
-// MustBuild is Build that panics on error, for tests and generators whose
-// inputs are known valid.
-func (b *Builder) MustBuild() *Network {
-	n, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return n
-}

@@ -130,7 +130,10 @@ func TestDiameter(t *testing.T) {
 	b.AddLink("A", "B")
 	b.AddLink("B", "C")
 	b.AddLink("C", "D")
-	n := b.MustBuild()
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := n.Diameter(); got != 3 {
 		t.Errorf("chain diameter = %d, want 3", got)
 	}
@@ -185,7 +188,10 @@ func TestExplicitAddrs(t *testing.T) {
 	aAddr := netip.MustParseAddr("1.2.0.1")
 	bAddr := netip.MustParseAddr("1.2.0.2")
 	b.AddLink("A", "B", WithAddrs(aAddr, bAddr))
-	n := b.MustBuild()
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, _ := n.FindDirLink("A", "B")
 	e := n.Edge(d)
 	if e.LocalAddr != aAddr || e.RemoteAddr != bAddr {

@@ -27,14 +27,18 @@
 package yu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"time"
 
 	"github.com/yu-verify/yu/internal/concrete"
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/spath"
@@ -58,6 +62,10 @@ type (
 	LinkCheckStat = core.LinkCheckStat
 	// Spec is the parsed network specification.
 	Spec = config.Spec
+	// DirLinkID identifies a directed link (used in partial reports).
+	DirLinkID = topo.DirLinkID
+	// BudgetPolicy selects the response to an MTBDD node-budget breach.
+	BudgetPolicy = core.BudgetPolicy
 )
 
 // Failure modes.
@@ -65,6 +73,29 @@ const (
 	FailLinks   = topo.FailLinks
 	FailRouters = topo.FailRouters
 	FailBoth    = topo.FailBoth
+)
+
+// Budget policies for VerifyOptions.OnBudget.
+const (
+	// BudgetFail (the default) aborts on an unrelieved node-budget breach
+	// with ErrNodeBudget and a partial report.
+	BudgetFail = core.BudgetFail
+	// BudgetDegrade walks the degradation ladder instead: breaching flows
+	// are re-verified by bounded concrete enumeration (annotated in
+	// Report.DegradedFlows), breaching link checks are skipped and listed
+	// as unchecked.
+	BudgetDegrade = core.BudgetDegrade
+)
+
+// Typed governance errors. Verify returns these (match with errors.Is)
+// together with a partial Report when a run is cut short.
+var (
+	// ErrCanceled reports a canceled context.
+	ErrCanceled = govern.ErrCanceled
+	// ErrDeadline reports an expired context deadline.
+	ErrDeadline = govern.ErrDeadline
+	// ErrNodeBudget reports an MTBDD node-budget breach under BudgetFail.
+	ErrNodeBudget = govern.ErrNodeBudget
 )
 
 // Network is a loaded network specification ready for verification.
@@ -161,6 +192,17 @@ type VerifyOptions struct {
 	// selects the sequential pipeline; reports are identical either way
 	// (modulo wall-clock fields).
 	Workers int
+	// Ctx, when non-nil, makes the run cancellable: cancellation or an
+	// expired deadline aborts within milliseconds and Verify returns
+	// ErrCanceled / ErrDeadline with a partial Report.
+	Ctx context.Context
+	// MaxNodes, when > 0, bounds the live MTBDD nodes of every manager
+	// the run creates (EngineYU only). A breach first triggers a managed
+	// GC and a retry; an unrelieved breach is handled per OnBudget.
+	MaxNodes int
+	// OnBudget selects the response to an unrelieved MaxNodes breach:
+	// BudgetFail (default) or BudgetDegrade.
+	OnBudget BudgetPolicy
 }
 
 // Report is the outcome of a verification run.
@@ -180,6 +222,19 @@ type Report struct {
 	MTBDDNodes int
 	// LinkStats has one entry per checked directed link (EngineYU only).
 	LinkStats []LinkCheckStat
+	// Incomplete is set when the run was cut short (cancellation,
+	// deadline, node budget) or checks were skipped while degrading.
+	// Holds is never true on an incomplete report.
+	Incomplete bool
+	// Unchecked lists directed links whose load checks did not complete;
+	// their verdicts are unknown.
+	Unchecked []DirLinkID
+	// UncheckedDelivered lists delivered-bound prefixes whose checks did
+	// not complete.
+	UncheckedDelivered []netip.Prefix
+	// DegradedFlows names flows verified by the bounded concrete
+	// fallback instead of symbolic execution (BudgetDegrade only).
+	DegradedFlows []string
 }
 
 // Verify runs k-failure TLP verification.
@@ -201,27 +256,7 @@ func (n *Network) Verify(opts VerifyOptions) (*Report, error) {
 	case EngineYU:
 		return n.verifyYU(k, mode, flows, opts, start)
 	case EngineEnumerate:
-		sim := concrete.NewSim(n.spec.Net, n.spec.Configs)
-		rep := sim.VerifyKFailures(flows, k, mode, concrete.EnumOptions{
-			OverloadFactor: opts.OverloadFactor,
-			Bounds:         n.spec.Props,
-			Delivered:      n.spec.Delivered,
-			Incremental:    opts.Incremental,
-		})
-		out := &Report{
-			Holds:      rep.Holds,
-			Elapsed:    time.Since(start),
-			FlowsTotal: len(flows),
-			Scenarios:  rep.Scenarios,
-		}
-		for _, v := range rep.Violations {
-			out.Violations = append(out.Violations, Violation{
-				Kind: v.Kind, Link: v.Link, Prefix: v.Prefix, Value: v.Value,
-				Min: v.Min, Max: v.Max,
-				FailedLinks: v.FailedLinks, FailedRouters: v.FailedRouters,
-			})
-		}
-		return out, nil
+		return n.verifyEnumerate(k, mode, flows, opts, start)
 	case EngineShortestPath:
 		if mode != topo.FailLinks {
 			return nil, fmt.Errorf("yu: the shortest-path baseline supports link failures only")
@@ -231,7 +266,7 @@ func (n *Network) Verify(opts VerifyOptions) (*Report, error) {
 		if factor <= 0 {
 			factor = 1
 		}
-		rep := model.Verify(k, spath.Options{OverloadFactor: factor})
+		rep := model.Verify(k, spath.Options{OverloadFactor: factor, Ctx: opts.Ctx})
 		out := &Report{
 			Holds:      rep.Holds,
 			Elapsed:    time.Since(start),
@@ -244,9 +279,78 @@ func (n *Network) Verify(opts VerifyOptions) (*Report, error) {
 				FailedLinks: v.FailedLinks,
 			})
 		}
-		return out, nil
+		if rep.Err != nil {
+			n.markAllUnchecked(out, factor)
+		}
+		return out, rep.Err
 	}
 	return nil, fmt.Errorf("yu: unknown engine %d", opts.Engine)
+}
+
+// verifyEnumerate runs the Jingubang-style concrete baseline. It is both
+// the EngineEnumerate entry point and rung 4 of the degradation ladder
+// (the whole-run fallback when even symbolic route simulation cannot fit
+// its node budget).
+func (n *Network) verifyEnumerate(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
+	sim := concrete.NewSim(n.spec.Net, n.spec.Configs)
+	rep := sim.VerifyKFailures(flows, k, mode, concrete.EnumOptions{
+		OverloadFactor: opts.OverloadFactor,
+		Bounds:         n.spec.Props,
+		Delivered:      n.spec.Delivered,
+		Incremental:    opts.Incremental,
+		Ctx:            opts.Ctx,
+	})
+	out := &Report{
+		Holds:      rep.Holds,
+		Elapsed:    time.Since(start),
+		FlowsTotal: len(flows),
+		Scenarios:  rep.Scenarios,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, Violation{
+			Kind: v.Kind, Link: v.Link, Prefix: v.Prefix, Value: v.Value,
+			Min: v.Min, Max: v.Max,
+			FailedLinks: v.FailedLinks, FailedRouters: v.FailedRouters,
+		})
+	}
+	if rep.Err != nil {
+		n.markAllUnchecked(out, opts.OverloadFactor)
+	}
+	return out, rep.Err
+}
+
+// markAllUnchecked records every requested check target as unchecked on
+// a report whose checks could not run (or cannot be trusted to have
+// covered every scenario).
+func (n *Network) markAllUnchecked(out *Report, overloadFactor float64) {
+	seen := make(map[DirLinkID]bool)
+	addLink := func(l DirLinkID) {
+		if !seen[l] {
+			seen[l] = true
+			out.Unchecked = append(out.Unchecked, l)
+		}
+	}
+	for _, b := range n.spec.Props {
+		dirs := []topo.Direction{topo.AtoB, topo.BtoA}
+		if b.DirSpecified {
+			dirs = []topo.Direction{b.Dir}
+		}
+		for _, d := range dirs {
+			addLink(topo.MakeDirLinkID(b.Link, d))
+		}
+	}
+	if overloadFactor > 0 {
+		for li := 0; li < n.spec.Net.NumLinks(); li++ {
+			for _, d := range []topo.Direction{topo.AtoB, topo.BtoA} {
+				addLink(topo.MakeDirLinkID(topo.LinkID(li), d))
+			}
+		}
+	}
+	for _, b := range n.spec.Delivered {
+		out.UncheckedDelivered = append(out.UncheckedDelivered, b.Prefix)
+	}
+	out.Incomplete = true
+	out.Holds = false
 }
 
 func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
@@ -258,27 +362,77 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 	}
 	m := mtbdd.New()
 	fv := routesim.NewFailVars(m, n.spec.Net, mode, budget)
-	rs, err := routesim.Run(fv, n.spec.Configs)
+	if opts.MaxNodes > 0 {
+		m.SetNodeBudget(opts.MaxNodes)
+	}
+	rs, err := routesim.RunContext(opts.Ctx, fv, n.spec.Configs)
+	routeTime := time.Since(start)
 	if err != nil {
+		if errors.Is(err, ErrNodeBudget) && opts.OnBudget == BudgetDegrade {
+			// Rung 4 of the degradation ladder: the budget cannot even
+			// hold symbolic route simulation, so the whole run falls back
+			// to bounded concrete enumeration. Every flow is degraded.
+			out, derr := n.verifyEnumerate(k, mode, flows, opts, start)
+			if out != nil {
+				for _, f := range flows {
+					out.DegradedFlows = append(out.DegradedFlows, f.String())
+				}
+				out.RouteSimTime = routeTime
+			}
+			return out, derr
+		}
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrNodeBudget) {
+			// Cut short before any check could run: a partial report with
+			// every requested target unchecked, plus the typed error.
+			out := &Report{
+				Elapsed:      time.Since(start),
+				RouteSimTime: routeTime,
+				FlowsTotal:   len(flows),
+				MTBDDNodes:   m.Stats().Live,
+			}
+			n.markAllUnchecked(out, opts.OverloadFactor)
+			return out, err
+		}
 		return nil, err
 	}
-	routeTime := time.Since(start)
 	eng := core.NewEngine(rs, core.Options{
 		DisableLinkLocalEquiv: opts.DisableLinkLocalEquiv,
 		DisableGlobalEquiv:    opts.DisableGlobalEquiv,
 		CheckK:                checkK,
+		Ctx:                   opts.Ctx,
+		NodeBudget:            opts.MaxNodes,
+		OnBudget:              opts.OnBudget,
+		Configs:               n.spec.Configs,
 	})
 	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
-	rep := ver.Run(n.spec.Props, n.spec.Delivered, opts.OverloadFactor)
-	out := &Report{
-		Violations:    rep.Violations,
-		Holds:         rep.Holds,
-		Elapsed:       time.Since(start),
-		RouteSimTime:  routeTime,
-		FlowsTotal:    rep.FlowsTotal,
-		FlowsExecuted: rep.FlowsExecuted,
-		MTBDDNodes:    m.Stats().Live,
-		LinkStats:     rep.LinkStats,
+	rep, verr := ver.Run(n.spec.Props, n.spec.Delivered, opts.OverloadFactor)
+	if verr == nil && rep.Incomplete && opts.OnBudget == BudgetDegrade && opts.MaxNodes > 0 {
+		// The budget let execution through (possibly via per-flow
+		// fallbacks) but was too tight for the aggregation checks, which
+		// were skipped. Rung 4: re-verify the whole run concretely so the
+		// degrade policy always renders a complete verdict.
+		out, derr := n.verifyEnumerate(k, mode, flows, opts, start)
+		if out != nil {
+			for _, f := range flows {
+				out.DegradedFlows = append(out.DegradedFlows, f.String())
+			}
+			out.RouteSimTime = routeTime
+		}
+		return out, derr
 	}
-	return out, nil
+	out := &Report{
+		Violations:         rep.Violations,
+		Holds:              rep.Holds,
+		Elapsed:            time.Since(start),
+		RouteSimTime:       routeTime,
+		FlowsTotal:         rep.FlowsTotal,
+		FlowsExecuted:      rep.FlowsExecuted,
+		MTBDDNodes:         m.Stats().Live,
+		LinkStats:          rep.LinkStats,
+		Incomplete:         rep.Incomplete,
+		Unchecked:          rep.Unchecked,
+		UncheckedDelivered: rep.UncheckedDelivered,
+		DegradedFlows:      rep.DegradedFlows,
+	}
+	return out, verr
 }
