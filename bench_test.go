@@ -8,6 +8,7 @@
 package yu
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -105,10 +106,11 @@ func BenchmarkFig11(b *testing.B) {
 	b.Run("Jingubang/N0/k=1", func(b *testing.B) {
 		sim := concrete.NewSim(spec.Net, spec.Configs)
 		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
 			rep := sim.VerifyKFailures(flows, 1, topo.FailLinks, concrete.EnumOptions{
-				OverloadFactor: 1.0, Incremental: true,
-				Deadline: time.Now().Add(90 * time.Second),
+				OverloadFactor: 1.0, Incremental: true, Ctx: ctx,
 			})
+			cancel()
 			b.ReportMetric(float64(rep.Scenarios), "scenarios")
 		}
 	})
@@ -222,7 +224,9 @@ func BenchmarkTable4(b *testing.B) {
 			}
 			model := spath.NewModel(spec.Net, spec.Configs, flows)
 			for i := 0; i < b.N; i++ {
-				model.Verify(2, spath.Options{OverloadFactor: 1.0, Deadline: time.Now().Add(90 * time.Second)})
+				ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+				model.Verify(2, spath.Options{OverloadFactor: 1.0, Ctx: ctx})
+				cancel()
 			}
 		})
 		b.Run("Jingubang/"+name, func(b *testing.B) {
@@ -231,10 +235,11 @@ func BenchmarkTable4(b *testing.B) {
 			}
 			sim := concrete.NewSim(spec.Net, spec.Configs)
 			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
 				sim.VerifyKFailures(flows, 2, topo.FailLinks, concrete.EnumOptions{
-					OverloadFactor: 1.0, Incremental: true,
-					Deadline: time.Now().Add(90 * time.Second),
+					OverloadFactor: 1.0, Incremental: true, Ctx: ctx,
 				})
+				cancel()
 			}
 		})
 	}

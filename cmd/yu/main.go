@@ -6,7 +6,8 @@
 //	yu verify [-k N] [-mode links|routers|both] [-overload FACTOR]
 //	          [-engine yu|enumerate|spath] [-no-kreduce] [-no-equiv]
 //	          [-workers N] [-timeout D] [-max-nodes N]
-//	          [-on-budget fail|degrade] [-stats] spec.yu
+//	          [-on-budget fail|degrade] [-stats] [-metrics json|text]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE] spec.yu
 //	yu show spec.yu
 //
 // The spec format is documented in the README (routers, links, config
@@ -18,10 +19,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/yu-verify/yu"
 	"github.com/yu-verify/yu/internal/concrete"
@@ -55,128 +60,281 @@ func usage() {
 	os.Exit(2)
 }
 
-func cmdVerify(args []string) {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	k := fs.Int("k", 0, "failure budget (0 = use the spec's)")
-	mode := fs.String("mode", "", "failure mode: links, routers, or both (default: spec's)")
-	overload := fs.Float64("overload", 0, "check all links against FACTOR x capacity")
-	engine := fs.String("engine", "yu", "engine: yu, enumerate, or spath")
-	noKReduce := fs.Bool("no-kreduce", false, "disable k-failure MTBDD reduction (ablation)")
-	noEquiv := fs.Bool("no-equiv", false, "disable flow equivalence reductions (ablation)")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the yu engine (1 = sequential)")
-	timeout := fs.Duration("timeout", 0, "abort verification after this duration (0 = none)")
-	maxNodes := fs.Int("max-nodes", 0, "live MTBDD node budget (0 = unlimited)")
-	onBudget := fs.String("on-budget", "fail", "node-budget policy: fail (typed error) or degrade (concrete fallback)")
-	stats := fs.Bool("stats", false, "print per-link statistics")
+// verifyConfig is the fully-validated result of parsing `yu verify`
+// flags. Enumerated flags (-mode, -engine, -on-budget, -metrics) are
+// validated at parse time via flag.Func, so a bad value is a usage
+// error (exit 2) before the spec file is even opened.
+type verifyConfig struct {
+	k          int
+	overload   float64
+	noKReduce  bool
+	noEquiv    bool
+	workers    int
+	timeout    time.Duration
+	maxNodes   int
+	stats      bool
+	mode       yu.FailureMode
+	modeSet    bool
+	engine     yu.Engine
+	onBudget   yu.BudgetPolicy
+	metrics    string // "", "json", or "text"
+	cpuprofile string
+	memprofile string
+	traceFile  string
+	spec       string
+}
+
+// parseVerifyFlags parses and validates `yu verify` arguments. With
+// flag.ExitOnError a bad flag value exits 2 inside fs.Parse; with
+// flag.ContinueOnError (tests) the error is returned.
+func parseVerifyFlags(args []string, eh flag.ErrorHandling) (*verifyConfig, error) {
+	cfg := &verifyConfig{
+		engine:   yu.EngineYU,
+		onBudget: yu.BudgetFail,
+	}
+	fs := flag.NewFlagSet("verify", eh)
+	fs.IntVar(&cfg.k, "k", 0, "failure budget (0 = use the spec's)")
+	fs.Func("mode", "failure mode: links, routers, or both (default: spec's)", func(s string) error {
+		switch s {
+		case "links":
+			cfg.mode = yu.FailLinks
+		case "routers":
+			cfg.mode = yu.FailRouters
+		case "both":
+			cfg.mode = yu.FailBoth
+		default:
+			return fmt.Errorf("must be links, routers, or both")
+		}
+		cfg.modeSet = true
+		return nil
+	})
+	fs.Float64Var(&cfg.overload, "overload", 0, "check all links against FACTOR x capacity")
+	fs.Func("engine", "engine: yu, enumerate, or spath (default yu)", func(s string) error {
+		switch s {
+		case "yu":
+			cfg.engine = yu.EngineYU
+		case "enumerate":
+			cfg.engine = yu.EngineEnumerate
+		case "spath":
+			cfg.engine = yu.EngineShortestPath
+		default:
+			return fmt.Errorf("must be yu, enumerate, or spath")
+		}
+		return nil
+	})
+	fs.BoolVar(&cfg.noKReduce, "no-kreduce", false, "disable k-failure MTBDD reduction (ablation)")
+	fs.BoolVar(&cfg.noEquiv, "no-equiv", false, "disable flow equivalence reductions (ablation)")
+	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "parallel workers for the yu engine (1 = sequential)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "abort verification after this duration (0 = none)")
+	fs.IntVar(&cfg.maxNodes, "max-nodes", 0, "live MTBDD node budget (0 = unlimited)")
+	fs.Func("on-budget", "node-budget policy: fail (typed error) or degrade (concrete fallback) (default fail)", func(s string) error {
+		switch s {
+		case "fail":
+			cfg.onBudget = yu.BudgetFail
+		case "degrade":
+			cfg.onBudget = yu.BudgetDegrade
+		default:
+			return fmt.Errorf("must be fail or degrade")
+		}
+		return nil
+	})
+	fs.BoolVar(&cfg.stats, "stats", false, "print per-link statistics")
+	fs.Func("metrics", "emit run metrics to stderr: json or text", func(s string) error {
+		switch s {
+		case "json", "text":
+			cfg.metrics = s
+		default:
+			return fmt.Errorf("must be json or text")
+		}
+		return nil
+	})
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to FILE at exit")
+	fs.StringVar(&cfg.traceFile, "trace", "", "write a runtime execution trace to FILE")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return nil, err
 	}
 	if fs.NArg() != 1 {
-		usage()
+		fs.Usage()
+		err := fmt.Errorf("verify: expected exactly one spec file, got %d arguments", fs.NArg())
+		if eh == flag.ExitOnError {
+			fmt.Fprintln(os.Stderr, "yu:", err)
+			os.Exit(2)
+		}
+		return nil, err
 	}
-	net, err := yu.LoadFile(fs.Arg(0))
+	cfg.spec = fs.Arg(0)
+	return cfg, nil
+}
+
+func cmdVerify(args []string) {
+	cfg, err := parseVerifyFlags(args, flag.ExitOnError)
 	if err != nil {
-		fatal(err)
+		os.Exit(2) // unreachable with ExitOnError; kept for safety
 	}
+	// runVerify owns all defers (profile/trace stop, metrics emission)
+	// so they run before the process exits.
+	os.Exit(runVerify(cfg, os.Stdout, os.Stderr))
+}
+
+// runVerify executes one verification run and returns the process exit
+// code. All cleanup — profile and trace stop functions, metrics
+// emission — happens via defers inside this function, so callers can
+// os.Exit with the returned code safely. Human-readable output goes to
+// stdout; metrics, profiles being diagnostics, go to stderr, so
+// `2>metrics.json` captures a parseable document.
+func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "yu:", err)
+		return 1
+	}
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if cfg.memprofile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "yu:", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "yu:", err)
+				code = 1
+			}
+		}()
+	}
+
+	var reg *yu.Metrics
+	if cfg.metrics != "" {
+		reg = yu.NewMetrics()
+		// Deferred so the snapshot is emitted on every outcome —
+		// VERIFIED, VIOLATED, and partial/INCOMPLETE runs alike.
+		defer func() {
+			snap := reg.Snapshot()
+			var err error
+			if cfg.metrics == "json" {
+				err = snap.WriteJSON(stderr)
+			} else {
+				err = snap.WriteText(stderr)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "yu: writing metrics:", err)
+				code = 1
+			}
+		}()
+	}
+
+	parseStart := time.Now()
+	net, err := yu.LoadFile(cfg.spec)
+	if err != nil {
+		return fail(err)
+	}
+	reg.AddPhase("parse", time.Since(parseStart))
+
 	opts := yu.VerifyOptions{
-		K:                     *k,
-		OverloadFactor:        *overload,
-		DisableKReduce:        *noKReduce,
-		DisableLinkLocalEquiv: *noEquiv,
-		DisableGlobalEquiv:    *noEquiv,
-		Workers:               *workers,
-		MaxNodes:              *maxNodes,
+		K:                     cfg.k,
+		OverloadFactor:        cfg.overload,
+		DisableKReduce:        cfg.noKReduce,
+		DisableLinkLocalEquiv: cfg.noEquiv,
+		DisableGlobalEquiv:    cfg.noEquiv,
+		Workers:               cfg.workers,
+		MaxNodes:              cfg.maxNodes,
+		OnBudget:              cfg.onBudget,
+		Engine:                cfg.engine,
+		Mode:                  cfg.mode,
+		ModeSet:               cfg.modeSet,
+		Obs:                   reg,
 	}
-	switch *onBudget {
-	case "fail":
-		opts.OnBudget = yu.BudgetFail
-	case "degrade":
-		opts.OnBudget = yu.BudgetDegrade
-	default:
-		fatal(fmt.Errorf("unknown -on-budget policy %q", *onBudget))
-	}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	if cfg.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 		defer cancel()
 		opts.Ctx = ctx
 	}
-	switch *mode {
-	case "":
-	case "links":
-		opts.Mode, opts.ModeSet = yu.FailLinks, true
-	case "routers":
-		opts.Mode, opts.ModeSet = yu.FailRouters, true
-	case "both":
-		opts.Mode, opts.ModeSet = yu.FailBoth, true
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-	switch *engine {
-	case "yu":
-		opts.Engine = yu.EngineYU
-	case "enumerate":
-		opts.Engine = yu.EngineEnumerate
-	case "spath":
-		opts.Engine = yu.EngineShortestPath
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
-	}
 	rep, err := net.Verify(opts)
 	if err != nil && rep == nil {
-		fatal(err)
+		return fail(err)
 	}
 	topoN := net.Topology()
 	switch {
 	case err != nil:
 		// Governance cut the run short: report what was checked before
 		// the interruption, then the typed cause.
-		fmt.Printf("INCOMPLETE: verification interrupted (%v)\n", rep.Elapsed)
+		fmt.Fprintf(stdout, "INCOMPLETE: verification interrupted (%v)\n", rep.Elapsed)
 		if len(rep.Violations) > 0 {
-			fmt.Printf("  %d violation(s) found before interruption:\n", len(rep.Violations))
+			fmt.Fprintf(stdout, "  %d violation(s) found before interruption:\n", len(rep.Violations))
 			for _, v := range rep.Violations {
-				fmt.Println("    " + v.Describe(topoN))
+				fmt.Fprintln(stdout, "    "+v.Describe(topoN))
 			}
 		}
 		if n := len(rep.Unchecked) + len(rep.UncheckedDelivered); n > 0 {
-			fmt.Printf("  %d propert%s left unchecked\n", n, plural(n, "y", "ies"))
+			fmt.Fprintf(stdout, "  %d propert%s left unchecked\n", n, plural(n, "y", "ies"))
 		}
 		switch {
 		case errors.Is(err, yu.ErrDeadline):
-			fmt.Println("  cause: deadline exceeded (-timeout)")
+			fmt.Fprintln(stdout, "  cause: deadline exceeded (-timeout)")
 		case errors.Is(err, yu.ErrCanceled):
-			fmt.Println("  cause: canceled")
+			fmt.Fprintln(stdout, "  cause: canceled")
 		case errors.Is(err, yu.ErrNodeBudget):
-			fmt.Printf("  cause: %v (rerun with a larger -max-nodes or -on-budget=degrade)\n", err)
+			fmt.Fprintf(stdout, "  cause: %v (rerun with a larger -max-nodes or -on-budget=degrade)\n", err)
 		default:
-			fmt.Printf("  cause: %v\n", err)
+			fmt.Fprintf(stdout, "  cause: %v\n", err)
 		}
 	case rep.Holds:
-		fmt.Printf("VERIFIED: all properties hold under the failure budget (%v)\n", rep.Elapsed)
+		fmt.Fprintf(stdout, "VERIFIED: all properties hold under the failure budget (%v)\n", rep.Elapsed)
 	default:
-		fmt.Printf("VIOLATED: %d violation(s) found (%v)\n", len(rep.Violations), rep.Elapsed)
+		fmt.Fprintf(stdout, "VIOLATED: %d violation(s) found (%v)\n", len(rep.Violations), rep.Elapsed)
 		for _, v := range rep.Violations {
-			fmt.Println("  " + v.Describe(topoN))
+			fmt.Fprintln(stdout, "  "+v.Describe(topoN))
 		}
 	}
 	if n := len(rep.DegradedFlows); n > 0 {
-		fmt.Printf("note: %d flow(s) verified by bounded concrete enumeration (node budget)\n", n)
+		fmt.Fprintf(stdout, "note: %d flow(s) verified by bounded concrete enumeration (node budget)\n", n)
 	}
-	if *stats {
-		fmt.Printf("flows: %d input, %d executed\n", rep.FlowsTotal, rep.FlowsExecuted)
+	if cfg.stats {
+		fmt.Fprintf(stdout, "flows: %d input, %d executed\n", rep.FlowsTotal, rep.FlowsExecuted)
 		for _, f := range rep.DegradedFlows {
-			fmt.Printf("  degraded to concrete enumeration: %s\n", f)
+			fmt.Fprintf(stdout, "  degraded to concrete enumeration: %s\n", f)
 		}
 		if len(rep.Unchecked) > 0 {
-			fmt.Printf("unchecked links: %d\n", len(rep.Unchecked))
+			fmt.Fprintf(stdout, "unchecked links: %d\n", len(rep.Unchecked))
 		}
 		if len(rep.UncheckedDelivered) > 0 {
-			fmt.Printf("unchecked delivered bounds: %d\n", len(rep.UncheckedDelivered))
+			fmt.Fprintf(stdout, "unchecked delivered bounds: %d\n", len(rep.UncheckedDelivered))
 		}
 		if rep.MTBDDNodes > 0 {
-			fmt.Printf("MTBDD nodes: %d\n", rep.MTBDDNodes)
+			fmt.Fprintf(stdout, "MTBDD nodes: %d\n", rep.MTBDDNodes)
 		}
 		if rep.Scenarios > 0 {
-			fmt.Printf("scenarios simulated: %d\n", rep.Scenarios)
+			fmt.Fprintf(stdout, "scenarios simulated: %d\n", rep.Scenarios)
 		}
 		if len(rep.LinkStats) > 0 {
 			sort.Slice(rep.LinkStats, func(i, j int) bool {
@@ -186,20 +344,21 @@ func cmdVerify(args []string) {
 			if n > 10 {
 				n = 10
 			}
-			fmt.Println("slowest checks:")
+			fmt.Fprintln(stdout, "slowest checks:")
 			for _, s := range rep.LinkStats[:n] {
 				name := topoN.DirLinkName(s.Link)
 				if s.Kind == "delivered" {
 					name = "delivered " + s.Prefix.String()
 				}
-				fmt.Printf("  %-24s flows=%-6d classes=%-5d %v\n",
+				fmt.Fprintf(stdout, "  %-24s flows=%-6d classes=%-5d %v\n",
 					name, s.Flows, s.Classes, s.Elapsed)
 			}
 		}
 	}
 	if err != nil || !rep.Holds {
-		os.Exit(1)
+		return 1
 	}
+	return code
 }
 
 func plural(n int, one, many string) string {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|overhead|all
 //	        [-scale quick|full] [-baseline-budget 30s]
 //	        [-workers 1,2,4,8] [-json TAG]
 //
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, overhead, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
@@ -76,6 +76,14 @@ func main() {
 			})
 			return nil
 		},
+		"overhead": func() error {
+			rs, err := bench.OverheadSweep(os.Stdout, scale, 3)
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
 		"table3": func() error { return bench.Table3(os.Stdout, scale) },
 		"table4": func() error { return bench.Table4(os.Stdout, scale, *budget) },
 		"fig11":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailLinks, *budget) },
@@ -84,7 +92,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "overhead"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -112,9 +113,15 @@ func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.Failure
 		return nil, err
 	}
 	routeTime := time.Since(start)
+	opts.Obs.AddPhase("routesim", routeTime)
 	eng := core.NewEngine(rs, opts)
+	execSpan := opts.Obs.Span("execute")
 	ver := core.NewParallelVerifier(eng, flows, workers)
+	execSpan.End()
+	checkSpan := opts.Obs.Span("check")
 	rep, err := ver.Run(nil, nil, overload)
+	checkSpan.End()
+	core.RecordManager(opts.Obs, "primary", m)
 	if err != nil {
 		return nil, err
 	}
@@ -188,11 +195,13 @@ func Fig11(w io.Writer, scale Scale, mode topo.FailureMode, baselineBudget time.
 			if c.name == "N0" && k <= 2 {
 				sim := concrete.NewSim(spec.Net, spec.Configs)
 				es := time.Now()
+				ectx, ecancel := context.WithTimeout(context.Background(), baselineBudget)
 				erep := sim.VerifyKFailures(flows, k, mode, concrete.EnumOptions{
 					OverloadFactor: 1.0,
 					Incremental:    true,
-					Deadline:       time.Now().Add(baselineBudget),
+					Ctx:            ectx,
 				})
+				ecancel()
 				enumStr = fmtDur(time.Since(es), erep.TimedOut)
 			}
 			fmt.Fprintf(w, "%-6s %3d %14s %20s %12d\n",
@@ -348,7 +357,9 @@ func Fig15and16(w io.Writer, scale Scale, baselineBudget time.Duration) error {
 		}
 		model := spath.NewModel(spec.Net, spec.Configs, flows)
 		qs := time.Now()
-		qrep := model.Verify(2, spath.Options{OverloadFactor: 1.0, Deadline: time.Now().Add(baselineBudget)})
+		qctx, qcancel := context.WithTimeout(context.Background(), baselineBudget)
+		qrep := model.Verify(2, spath.Options{OverloadFactor: 1.0, Ctx: qctx})
+		qcancel()
 		fmt.Fprintf(w, "%-7d %12s %16s %14s %14d %16d\n",
 			len(flows), fmtDur(run.Elapsed, false), fmtDur(noRed.Elapsed, false),
 			fmtDur(time.Since(qs), qrep.TimedOut), run.MTBDDNodes, noRed.MTBDDNodes)
@@ -383,15 +394,19 @@ func Table4(w io.Writer, scale Scale, baselineBudget time.Duration) error {
 			}
 			model := spath.NewModel(spec.Net, spec.Configs, flows)
 			qs := time.Now()
-			qrep := model.Verify(2, spath.Options{OverloadFactor: 1.0, Deadline: time.Now().Add(baselineBudget)})
+			qctx, qcancel := context.WithTimeout(context.Background(), baselineBudget)
+			qrep := model.Verify(2, spath.Options{OverloadFactor: 1.0, Ctx: qctx})
+			qcancel()
 			qd := time.Since(qs)
 			sim := concrete.NewSim(spec.Net, spec.Configs)
 			es := time.Now()
+			ectx, ecancel := context.WithTimeout(context.Background(), baselineBudget)
 			erep := sim.VerifyKFailures(flows, 2, topo.FailLinks, concrete.EnumOptions{
 				OverloadFactor: 1.0,
 				Incremental:    true,
-				Deadline:       time.Now().Add(baselineBudget),
+				Ctx:            ectx,
 			})
+			ecancel()
 			ed := time.Since(es)
 			fmt.Fprintf(w, "FT-%-4d %7d %6.0f%% %12s %14s %16s\n",
 				m, len(flows), frac*100, fmtDur(run.Elapsed, false),

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/obs"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// OverheadSweep measures what the observability layer costs: the N0 case
+// is verified repeatedly with no registry (the exact uninstrumented
+// path — every obs call is a nil-receiver no-op) and with a live
+// registry, interleaved so thermal and cache drift hit both sides
+// equally. Best-of-rounds wall times are compared, the instrumented
+// run's registry snapshot is attached to its record, and the delta is
+// reported as overhead_pct — the number the ≤2% budget in DESIGN.md §11
+// is checked against.
+func OverheadSweep(w io.Writer, scale Scale, rounds int) ([]BenchRecord, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	c := wanCases(scale)[0] // N0
+	spec, flows, err := buildWAN(c)
+	if err != nil {
+		return nil, err
+	}
+	k := c.ks[0]
+	fmt.Fprintf(w, "Instrumentation overhead: %s (%d routers, %d links), %d flows, k=%d link failures, best of %d\n",
+		c.name, spec.Net.NumRouters(), spec.Net.NumLinks(), len(flows), k, rounds)
+
+	measure := func(reg *obs.Registry) (*YURun, error) {
+		return runYU(spec, flows, k, topo.FailLinks, core.Options{Obs: reg}, 1.0)
+	}
+
+	var bare, inst time.Duration
+	var bareRun, instRun *YURun
+	var snap *obs.Snapshot
+	for r := 0; r < rounds; r++ {
+		br, err := measure(nil)
+		if err != nil {
+			return nil, err
+		}
+		if bare == 0 || br.Elapsed < bare {
+			bare, bareRun = br.Elapsed, br
+		}
+		reg := obs.New()
+		ir, err := measure(reg)
+		if err != nil {
+			return nil, err
+		}
+		if inst == 0 || ir.Elapsed < inst {
+			inst, instRun = ir.Elapsed, ir
+			snap = reg.Snapshot()
+		}
+	}
+	if bareRun.Violations != instRun.Violations || bareRun.Executed != instRun.Executed {
+		return nil, fmt.Errorf("instrumented run diverged: %d/%d violations, %d/%d flows",
+			bareRun.Violations, instRun.Violations, bareRun.Executed, instRun.Executed)
+	}
+
+	overheadPct := 100 * (float64(inst) - float64(bare)) / float64(bare)
+	fmt.Fprintf(w, "%-14s %14s\n", "bare", fmtDur(bare, false))
+	fmt.Fprintf(w, "%-14s %14s  (%+.2f%%)\n", "instrumented", fmtDur(inst, false), overheadPct)
+
+	mk := func(name string, run *YURun, d time.Duration) BenchRecord {
+		return BenchRecord{
+			Experiment:      "overhead",
+			Case:            name,
+			K:               k,
+			Mode:            topo.FailLinks.String(),
+			Workers:         1,
+			WallMS:          float64(d.Microseconds()) / 1000,
+			RouteSimMS:      float64(run.RouteTime.Microseconds()) / 1000,
+			PeakUniqueNodes: run.MTBDDNodes,
+			FlowsExecuted:   run.Executed,
+			Violations:      run.Violations,
+			Speedup:         1,
+		}
+	}
+	bareRec := mk(c.name+"-bare", bareRun, bare)
+	instRec := mk(c.name+"-instrumented", instRun, inst)
+	instRec.OverheadPct = overheadPct
+	instRec.Metrics = snap
+	return []BenchRecord{bareRec, instRec}, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -31,6 +32,14 @@ type BenchRecord struct {
 	// Speedup is wall time at workers=1 divided by this record's wall
 	// time (1.0 for the workers=1 row itself).
 	Speedup float64 `json:"speedup"`
+	// OverheadPct, for the overhead experiment, is the instrumented
+	// run's wall-time cost relative to its paired bare run, in percent
+	// (best-of-rounds on both sides).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	// Metrics, when the run was instrumented, is the obs.Registry
+	// snapshot: per-phase durations, per-cache hit/miss counters, and
+	// per-manager node statistics.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // WriteBenchJSON writes records as indented JSON to path.

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"math"
 	"net/netip"
-	"time"
 
 	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/topo"
@@ -59,13 +58,9 @@ type EnumOptions struct {
 	Bounds         []topo.LoadBound
 	Delivered      []topo.DeliveredBound
 	// Ctx, when non-nil, makes the enumeration cancellable; it is polled
-	// periodically between scenarios.
+	// periodically between scenarios. Wall-clock limits are expressed as
+	// a deadline on Ctx (context.WithTimeout / WithDeadline).
 	Ctx context.Context
-	// Deadline, when nonzero, aborts the enumeration once passed.
-	//
-	// Deprecated: carried as context.WithDeadline on Ctx; prefer setting
-	// a deadline on Ctx directly.
-	Deadline time.Time
 }
 
 // VerifyKFailures enumerates every failure scenario with at most k failed
@@ -73,8 +68,7 @@ type EnumOptions struct {
 // O(n^k) baseline the paper compares against.
 func (s *Sim) VerifyKFailures(flows []topo.Flow, k int, mode topo.FailureMode, opts EnumOptions) *EnumReport {
 	rep := &EnumReport{Holds: true}
-	ctx, cancel := govern.WithDeadline(opts.Ctx, opts.Deadline)
-	defer cancel()
+	ctx := opts.Ctx
 
 	var elems []elem
 	if mode == topo.FailLinks || mode == topo.FailBoth {

@@ -21,6 +21,7 @@ import (
 
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -83,6 +84,10 @@ type Options struct {
 	// simulator). Without it a breaching flow is a hard error even when
 	// degrading.
 	Configs config.Configs
+	// Obs, when non-nil, collects run metrics: phase timings, per-worker
+	// counters, and per-manager MTBDD stats (DESIGN.md §11). nil disables
+	// all recording at zero cost.
+	Obs *obs.Registry
 }
 
 // Engine executes flows symbolically against one route-simulation result.

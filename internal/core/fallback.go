@@ -53,6 +53,9 @@ func (e *Engine) concreteFallbackSTF(f topo.Flow, cause error) (*FlowSTF, error)
 	if err != nil {
 		return nil, err
 	}
+	e.opts.Obs.Counter("govern.concrete_fallbacks").Inc()
+	e.opts.Obs.Log().Once("degrade:"+f.String(),
+		"yu: flow %s degraded to bounded concrete enumeration (node budget)", f)
 	return out, err
 }
 

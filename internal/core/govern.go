@@ -61,6 +61,7 @@ func (e *Engine) executeGoverned(f topo.Flow, done []*FlowSTF) (*FlowSTF, error)
 	if err == nil || !errors.Is(err, govern.ErrNodeBudget) {
 		return s, err
 	}
+	e.opts.Obs.Counter("govern.budget_gc_retries").Inc()
 	e.m.GC(e.roots(stfRoots(nil, done)))
 	s, err = e.tryExecute(f, done)
 	if err == nil || !errors.Is(err, govern.ErrNodeBudget) {

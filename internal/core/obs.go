@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
+	"github.com/yu-verify/yu/internal/routesim"
+)
+
+// This file is the bridge between the MTBDD layer and the obs registry:
+// obs is a leaf package (it must not import mtbdd), so core converts
+// mtbdd.Stats into the plain obs.ManagerStats record.
+//
+// Instrumentation placement follows the overhead budget of DESIGN.md
+// §11: no time.Now() ever runs inside ExecuteFlow's wavefront loop. The
+// KREDUCE timer covers only the per-link aggregation loops (LinkLoad,
+// DeliveredLoad, the pruned checks, and their shard mirrors), where one
+// clock read per equivalence class is noise; KREDUCE effort during
+// symbolic execution is reported through the manager's cumulative
+// counters instead.
+
+// ManagerObsStats converts one manager's stats snapshot into the obs
+// record under the given name ("primary", "exec-shard.0", ...).
+func ManagerObsStats(name string, m *mtbdd.Manager) obs.ManagerStats {
+	st := m.Stats()
+	return obs.ManagerStats{
+		Name:         name,
+		Created:      int(st.Created),
+		Live:         st.Live,
+		PeakLive:     st.PeakUnique,
+		GCRuns:       st.GCRuns,
+		KReduceCalls: st.KReduceCalls,
+		Caches: map[string]obs.CacheCounters{
+			"apply":   {Hits: st.Apply.Hits, Misses: st.Apply.Misses},
+			"neg":     {Hits: st.Neg.Hits, Misses: st.Neg.Misses},
+			"kreduce": {Hits: st.KReduce.Hits, Misses: st.KReduce.Misses},
+			"range":   {Hits: st.Range.Hits, Misses: st.Range.Misses},
+			"import":  {Hits: st.Import.Hits, Misses: st.Import.Misses},
+		},
+	}
+}
+
+// RecordManager snapshots a manager's stats into the registry. A nil
+// registry records nothing.
+func RecordManager(reg *obs.Registry, name string, m *mtbdd.Manager) {
+	if reg == nil {
+		return
+	}
+	reg.RecordManager(ManagerObsStats(name, m))
+}
+
+// workerCounter names a per-worker counter: "worker.3.flows_executed".
+func workerCounter(w int, name string) string {
+	return "worker." + strconv.Itoa(w) + "." + name
+}
+
+// reduceTimed is fv.Reduce with an optional timer. The nil check keeps
+// the uninstrumented path free of clock reads.
+func reduceTimed(t *obs.Timer, fv *routesim.FailVars, f *mtbdd.Node) *mtbdd.Node {
+	if t == nil {
+		return fv.Reduce(f)
+	}
+	start := time.Now()
+	r := fv.Reduce(f)
+	t.Add(time.Since(start))
+	return r
+}

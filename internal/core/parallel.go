@@ -28,6 +28,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,8 @@ func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
 	if workers <= 1 {
 		return NewVerifier(e, flows)
 	}
-	v := &Verifier{e: e, flows: flows, workers: workers}
+	v := &Verifier{e: e, flows: flows, workers: workers,
+		kreduceT: e.opts.Obs.Timer("check/kreduce")}
 	merged := mergeFlows(e, flows)
 	v.execCount = len(merged)
 	if len(merged) == 0 {
@@ -104,8 +106,10 @@ func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
 			// before ImportInto — NewEngine would install it only after
 			// the import has already run ungoverned.
 			var werr error
+			execC := e.opts.Obs.Counter(workerCounter(w, "flows_executed"))
 			cerr := contained(func() {
 				mW := mtbdd.New()
+				defer RecordManager(e.opts.Obs, "exec-shard."+strconv.Itoa(w), mW)
 				installGovernance(mW, wopts)
 				fvW := routesim.NewFailVars(mW, e.net, e.fv.Mode, e.fv.K)
 				engW := NewEngine(e.rs.ImportInto(fvW), wopts)
@@ -121,6 +125,7 @@ func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
 					}
 					local = append(local, s)
 					stfs[i] = s
+					execC.Inc()
 				}
 			})
 			if cerr != nil {
@@ -167,6 +172,8 @@ func NewParallelVerifier(e *Engine, flows []topo.Flow, workers int) *Verifier {
 	// order, garbage-collecting as the unique table fills. The merge runs
 	// under the same budget ladder as execution: GC + retry on a breach,
 	// then (degrade policy) a concrete rebuild of the offending flow.
+	mergeSpan := e.opts.Obs.Span("execute/merge")
+	defer mergeSpan.End()
 	v.stfs = make([]*FlowSTF, 0, len(merged))
 	for i, s := range stfs {
 		var out *FlowSTF
@@ -269,8 +276,9 @@ func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			linkC := v.e.opts.Obs.Counter(workerCounter(w, "links_checked"))
 			var c *shardChecker
 			if err := contained(func() { c = newShardChecker(v) }); err != nil {
 				// A budget so tight the shard's FailVars cannot even be
@@ -282,6 +290,7 @@ func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) error {
 				}
 				return
 			}
+			defer RecordManager(v.e.opts.Obs, "check-shard."+strconv.Itoa(w), c.m)
 			for !stop.Load() {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(jobs) {
@@ -297,9 +306,10 @@ func (v *Verifier) checkOverloadAllParallel(factor float64, rep *Report) error {
 					return
 				}
 				results[i].done = done
+				linkC.Inc()
 				c.maybeGC()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i := range results {
@@ -399,7 +409,7 @@ func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheck
 			}
 			stat.Flows++
 			stat.Classes++
-			tau = fv.Reduce(m.Add(tau, m.Scale(s.Flow.Gbps, m.Import(w))))
+			tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(s.Flow.Gbps, m.Import(w))))
 		}
 	} else {
 		// Group by the primary manager's canonical pointer, first-seen
@@ -423,7 +433,7 @@ func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheck
 		}
 		stat.Classes = len(order)
 		for i, w := range order {
-			tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], m.Import(w))))
+			tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], m.Import(w))))
 		}
 	}
 	stat.Elapsed = time.Since(start)
@@ -500,7 +510,7 @@ func (c *shardChecker) checkLinkPruned(l topo.DirLinkID, limit float64) (LinkChe
 	remaining := total
 	tau := m.Zero()
 	for _, cl := range classes {
-		tau = fv.Reduce(m.Add(tau, m.Scale(cl.vol, cl.w)))
+		tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(cl.vol, cl.w)))
 		remaining -= cl.vol * cl.max
 		_, hi := m.Range(tau)
 		if hi > violThreshold {

@@ -1,13 +1,19 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"net/netip"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/flowgen"
 	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -161,6 +167,205 @@ func TestParallelExecutionSharding(t *testing.T) {
 				t.Fatalf("STF %d: link %d node differs (pointer identity lost in merge)", i, l)
 			}
 		}
+	}
+}
+
+// checkLinkPartition asserts the slot-array invariant of the parallel
+// overload check: every directed link of the network appears in exactly
+// one of Report.LinkStats or Report.Unchecked — no link is dropped, and
+// no half-written (done=false) slot leaks a stat or a violation into
+// the report.
+func checkLinkPartition(t *testing.T, net *topo.Network, rep *Report) {
+	t.Helper()
+	seen := make(map[topo.DirLinkID]string)
+	for _, s := range rep.LinkStats {
+		if prev, dup := seen[s.Link]; dup {
+			t.Fatalf("link %d appears twice (%s, LinkStats)", s.Link, prev)
+		}
+		seen[s.Link] = "LinkStats"
+	}
+	for _, l := range rep.Unchecked {
+		if prev, dup := seen[l]; dup {
+			t.Fatalf("link %d appears twice (%s, Unchecked)", l, prev)
+		}
+		seen[l] = "Unchecked"
+	}
+	if want := 2 * net.NumLinks(); len(seen) != want {
+		t.Fatalf("LinkStats (%d) + Unchecked (%d) cover %d directed links, want %d",
+			len(rep.LinkStats), len(rep.Unchecked), len(seen), want)
+	}
+	checked := make(map[topo.DirLinkID]bool, len(rep.LinkStats))
+	for _, s := range rep.LinkStats {
+		checked[s.Link] = true
+	}
+	for _, v := range rep.Violations {
+		if v.Kind == "link-load" && !checked[v.Link] {
+			t.Fatalf("violation on link %d leaked from an unchecked slot", v.Link)
+		}
+	}
+}
+
+// errAfterCtx is a context whose Err flips to Canceled after n polls. It
+// lets a test cancel the check pool deterministically from inside the
+// workers' own governance polling, mid-run, without racing a timer.
+type errAfterCtx struct {
+	context.Context
+	calls atomic.Int64
+	n     int64
+}
+
+func (c *errAfterCtx) Err() error {
+	if c.calls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestParallelStopLeavesNoPartialSlots cancels the parallel link-check
+// pool mid-run and checks the slot accumulation: links whose check never
+// completed must land in Unchecked, completed slots keep their stats,
+// and the two sets exactly partition the directed links.
+func TestParallelStopLeavesNoPartialSlots(t *testing.T) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 30, Links: 60, Prefixes: 8, SRPolicyFraction: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{
+		Count: 200, DSCP5Fraction: 0.3, DistinctDstPerPrefix: 2, Seed: 105,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildEngine(t, spec, topo.FailLinks, 1, Options{})
+	v := NewParallelVerifier(eng, flows, 4)
+	if v.err != nil {
+		t.Fatal(v.err)
+	}
+	// Arm the cancellation only now, so execution and merge complete and
+	// the stop fires inside checkOverloadAllParallel's pool.
+	eng.opts.Ctx = &errAfterCtx{Context: context.Background(), n: 8}
+	rep, err := v.Run(nil, nil, 1.0)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(rep.Unchecked) == 0 {
+		t.Fatal("mid-run cancel left no unchecked links; the stop never fired")
+	}
+	if !rep.Incomplete || rep.Holds {
+		t.Fatalf("Incomplete=%v Holds=%v after a canceled check pool", rep.Incomplete, rep.Holds)
+	}
+	checkLinkPartition(t, spec.Net, rep)
+}
+
+// TestParallelBudgetDegradeSkipPartition drives the check pool into
+// node-budget skips under the degrade policy: skipped links must be
+// reported as unchecked, never as zero-value stats, and the partition
+// invariant must survive whatever mix of done/skipped slots the
+// scheduler produced.
+func TestParallelBudgetDegradeSkipPartition(t *testing.T) {
+	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Pairwise(spec, 5, 9.0/56.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildEngine(t, spec, topo.FailLinks, 2, Options{
+		NodeBudget: 6000, OnBudget: BudgetDegrade,
+	})
+	v := NewParallelVerifier(eng, flows, 4)
+	rep, err := v.Run(nil, nil, 1.0)
+	if err != nil {
+		t.Fatalf("degrade policy must not surface budget errors: %v", err)
+	}
+	checkLinkPartition(t, spec.Net, rep)
+	if len(rep.Unchecked) > 0 && (!rep.Incomplete || rep.Holds) {
+		t.Fatalf("Incomplete=%v Holds=%v with %d unchecked links",
+			rep.Incomplete, rep.Holds, len(rep.Unchecked))
+	}
+}
+
+// TestParallelMatchesSequentialWithMetrics re-runs the WAN equality
+// check with an obs.Registry attached to both engines: instrumentation
+// must be a pure side channel, leaving the parallel Report byte-
+// identical to the sequential one, while the parallel registry picks up
+// the per-worker counters and per-shard manager stats.
+func TestParallelMatchesSequentialWithMetrics(t *testing.T) {
+	spec, err := gen.WAN(gen.WANSpec{Routers: 40, Links: 80, Prefixes: 12, SRPolicyFraction: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowgen.Random(spec, flowgen.RandomSpec{
+		Count: 600, DSCP5Fraction: 0.3, DistinctDstPerPrefix: 3, Seed: 142,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := []topo.DeliveredBound{{
+		Prefix: netip.MustParsePrefix("0.0.0.0/0"), Min: 0, Max: 1e12,
+	}}
+
+	seqReg, parReg := obs.New(), obs.New()
+	seqEng := buildEngine(t, spec, topo.FailLinks, 1, Options{Obs: seqReg})
+	seq := mustRun(t, func() (*Report, error) {
+		return NewVerifier(seqEng, flows).Run(spec.Props, delivered, 0.5)
+	})
+	parEng := buildEngine(t, spec, topo.FailLinks, 1, Options{Obs: parReg})
+	par := mustRun(t, func() (*Report, error) {
+		return NewParallelVerifier(parEng, flows, 4).Run(spec.Props, delivered, 0.5)
+	})
+	reportsEqual(t, "wan-metrics", seq, par)
+
+	// The parallel registry must account for every unit of work exactly
+	// once: worker flow counters sum to the merged-flow count, link
+	// counters to the completed checks.
+	snap := parReg.Snapshot()
+	var flowSum, linkSum int64
+	for name, val := range snap.Counters {
+		if !strings.HasPrefix(name, "worker.") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".flows_executed"):
+			flowSum += val
+		case strings.HasSuffix(name, ".links_checked"):
+			linkSum += val
+		}
+	}
+	if flowSum != int64(par.FlowsExecuted) {
+		t.Errorf("worker flow counters sum to %d, report says %d executed", flowSum, par.FlowsExecuted)
+	}
+	// Delivered-bound checks run on the primary manager before the pool
+	// starts, so only the link-load stats are worker-counted.
+	var poolStats int64
+	for _, s := range par.LinkStats {
+		if s.Kind != "delivered" {
+			poolStats++
+		}
+	}
+	if linkSum != poolStats {
+		t.Errorf("worker link counters sum to %d, report has %d pool link stats", linkSum, poolStats)
+	}
+	var execShards, checkShards int
+	for _, m := range snap.Managers {
+		switch {
+		case strings.HasPrefix(m.Name, "exec-shard."):
+			execShards++
+		case strings.HasPrefix(m.Name, "check-shard."):
+			checkShards++
+		}
+		for _, c := range []string{"apply", "kreduce", "neg", "range", "import"} {
+			if _, ok := m.Caches[c]; !ok {
+				t.Errorf("manager %s missing %s cache counters", m.Name, c)
+			}
+		}
+	}
+	if execShards == 0 || checkShards == 0 {
+		t.Errorf("registry recorded %d exec shards, %d check shards; want both > 0", execShards, checkShards)
+	}
+	if kt, ok := snap.TimersMS["check/kreduce"]; !ok || kt.Count == 0 {
+		t.Errorf("check/kreduce timer missing or empty: %+v", snap.TimersMS)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -153,6 +154,11 @@ type Verifier struct {
 	// deadline, unrecoverable budget breach, contained panic). Run
 	// surfaces it with a partial report.
 	err error
+	// kreduceT, when non-nil, accumulates the wall time spent in the
+	// KREDUCE calls of per-link aggregation (obs "check/kreduce"). It is
+	// nil when no obs registry is attached, keeping the clock off the
+	// uninstrumented path.
+	kreduceT *obs.Timer
 }
 
 // Err returns the fatal error recorded during flow execution, if any.
@@ -194,7 +200,9 @@ func mergeFlows(e *Engine, flows []topo.Flow) []topo.Flow {
 // budget breach stops the loop and is surfaced from Run (or Err) with
 // the flows executed so far intact.
 func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
-	v := &Verifier{e: e, flows: flows, workers: 1}
+	v := &Verifier{e: e, flows: flows, workers: 1,
+		kreduceT: e.opts.Obs.Timer("check/kreduce")}
+	flowC := e.opts.Obs.Counter("exec.flows_executed")
 	for _, f := range mergeFlows(e, flows) {
 		s, err := e.executeGoverned(f, v.stfs)
 		if err != nil {
@@ -203,6 +211,7 @@ func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
 		}
 		v.stfs = append(v.stfs, s)
 		v.execCount++
+		flowC.Inc()
 	}
 	return v
 }
@@ -232,7 +241,7 @@ func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
 			}
 			stat.Flows++
 			stat.Classes++
-			tau = fv.Reduce(m.Add(tau, m.Scale(s.Flow.Gbps, w)))
+			tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(s.Flow.Gbps, w)))
 		}
 	} else {
 		// Group in first-seen order: float addition is not associative,
@@ -256,7 +265,7 @@ func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
 		}
 		stat.Classes = len(order)
 		for i, w := range order {
-			tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], w)))
+			tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], w)))
 		}
 	}
 	stat.Elapsed = time.Since(start)
@@ -289,7 +298,7 @@ func (v *Verifier) DeliveredLoad(pfx netip.Prefix) (*mtbdd.Node, LinkCheckStat) 
 	stat.Classes = len(order)
 	tau := m.Zero()
 	for i, w := range order {
-		tau = fv.Reduce(m.Add(tau, m.Scale(vols[i], w)))
+		tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], w)))
 	}
 	stat.Elapsed = time.Since(start)
 	return tau, stat
@@ -508,7 +517,7 @@ func (v *Verifier) checkOverloadPruned(l topo.DirLinkID, limit float64, rep *Rep
 	remaining := total
 	tau := m.Zero()
 	for _, c := range classes {
-		tau = fv.Reduce(m.Add(tau, m.Scale(c.vol, c.w)))
+		tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(c.vol, c.w)))
 		remaining -= c.vol * c.max
 		_, hi := m.Range(tau)
 		if hi > violThreshold {

@@ -9,7 +9,6 @@ package govern
 import (
 	"context"
 	"errors"
-	"time"
 )
 
 var (
@@ -18,7 +17,7 @@ var (
 	// partial: completed checks are kept, the rest are marked unchecked.
 	ErrCanceled = errors.New("verification canceled")
 	// ErrDeadline is returned when a verification run exceeds its
-	// context deadline (or a deprecated Deadline option).
+	// context deadline.
 	ErrDeadline = errors.New("verification deadline exceeded")
 	// ErrNodeBudget is returned when an MTBDD manager's live-node budget
 	// is breached and the budget policy is to fail. Degrading policies
@@ -47,17 +46,4 @@ func Check(ctx context.Context) error {
 		return nil
 	}
 	return CtxErr(ctx.Err())
-}
-
-// WithDeadline combines a context (nil meaning Background) with a
-// deprecated wall-clock Deadline field: a zero deadline leaves the
-// context alone. The returned cancel function must always be called.
-func WithDeadline(ctx context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if deadline.IsZero() {
-		return ctx, func() {}
-	}
-	return context.WithDeadline(ctx, deadline)
 }

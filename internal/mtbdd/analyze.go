@@ -109,8 +109,10 @@ func (m *Manager) Range(f *Node) (lo, hi float64) {
 			return valueRange{n.Value, n.Value}
 		}
 		if l, h, ok := m.rangeTbl.get(n.id); ok {
+			m.rangeHits++
 			return valueRange{l, h}
 		}
+		m.rangeMisses++
 		if local == nil {
 			local = make(map[*Node]valueRange)
 		} else if r, ok := local[n]; ok {

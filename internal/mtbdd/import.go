@@ -17,9 +17,9 @@ import "fmt"
 // source node pointer (source pointers are unique across managers, so one
 // cache serves any number of sources). The cache holds strong references
 // to the source nodes — their addresses can therefore never be recycled
-// under it — and is dropped on ClearCaches/GC together with the other
-// operation caches, because a destination-side GC may evict the cached
-// translations from the unique table.
+// under it — and is re-created fresh by ClearCaches/GC together with the
+// other operation caches, because a destination-side GC may evict the
+// cached translations from the unique table.
 //
 // Import only reads the source graph (Node fields are immutable after
 // creation), so any number of destination managers may import from the
@@ -29,6 +29,8 @@ func (m *Manager) Import(src *Node) *Node {
 	if src == nil {
 		return nil
 	}
+	// New and ClearCaches both install a fresh map, so importTbl is nil
+	// only for a zero-value Manager; guard anyway rather than crash.
 	if m.importTbl == nil {
 		m.importTbl = make(map[*Node]*Node)
 	}
@@ -41,8 +43,10 @@ func Import(dst *Manager, src *Node) *Node { return dst.Import(src) }
 
 func (m *Manager) importNode(src *Node) *Node {
 	if r, ok := m.importTbl[src]; ok {
+		m.importHits++
 		return r
 	}
+	m.importMisses++
 	m.checkInterrupt()
 	var r *Node
 	if src.IsTerminal() {

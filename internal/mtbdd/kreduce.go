@@ -37,8 +37,10 @@ func (m *Manager) kreduce(f *Node, k int32) *Node {
 		return m.Const(m.EvalAllAlive(f))
 	}
 	if r, ok := m.kreduceTbl.get(f.id, k); ok {
+		m.kreduceHits++
 		return r
 	}
+	m.kreduceMisses++
 	m.checkInterrupt()
 	hiK := m.kreduce(f.Hi, k)
 	loK1 := m.kreduce(f.Lo, k-1)

@@ -78,13 +78,24 @@ type Manager struct {
 	opTick    uint64
 	budget    int
 
-	// stats
-	created      uint64
-	peakUnique   int
-	applyHits    uint64
-	applyMisses  uint64
-	kreduceCalls uint64
-	gcRuns       uint64
+	// stats. Cache hit/miss tallies live on the Manager — not inside the
+	// cache structs — so they are cumulative over the Manager's lifetime:
+	// ClearCaches (and GC, which calls it) replaces cache *contents* but
+	// never resets a counter.
+	created       uint64
+	peakUnique    int
+	applyHits     uint64
+	applyMisses   uint64
+	negHits       uint64
+	negMisses     uint64
+	kreduceHits   uint64
+	kreduceMisses uint64
+	rangeHits     uint64
+	rangeMisses   uint64
+	importHits    uint64
+	importMisses  uint64
+	kreduceCalls  uint64
+	gcRuns        uint64
 }
 
 // New creates an empty Manager with no variables. Declare variables with
@@ -98,6 +109,7 @@ func New() *Manager {
 		negTbl:     newUnaryCache(),
 		kreduceTbl: newKReduceCache(),
 		rangeTbl:   newRangeCache(),
+		importTbl:  make(map[*Node]*Node),
 	}
 	m.zero = m.Const(0)
 	m.one = m.Const(1)
@@ -278,33 +290,64 @@ func (m *Manager) Support(f *Node) []int {
 	return out
 }
 
+// CacheStats is one operation cache's cumulative hit/miss tally. The
+// counters persist across ClearCaches and GC — they count lookups over
+// the Manager's lifetime, not the current cache generation.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
 // Stats is a snapshot of Manager counters, used by the benchmark harness to
-// report MTBDD sizes (paper Fig 16).
+// report MTBDD sizes (paper Fig 16) and by the observability layer
+// (DESIGN.md §11) for per-cache efficacy.
 type Stats struct {
-	Created     uint64 // total nodes ever created
-	Live        int    // internal nodes currently in the unique table
-	PeakUnique  int    // high-water mark of the unique table
+	Created    uint64 // total nodes ever created
+	Live       int    // internal nodes currently in the unique table
+	PeakUnique int    // high-water mark of the unique table
+
+	// ApplyHits/ApplyMisses predate the per-cache breakdown and mirror
+	// Apply.Hits/Apply.Misses; kept so existing consumers don't break.
 	ApplyHits   uint64
 	ApplyMisses uint64
+
+	// Per-cache hit/miss tallies for all five operation caches.
+	Apply   CacheStats
+	Neg     CacheStats
+	KReduce CacheStats
+	Range   CacheStats
+	Import  CacheStats
+
+	KReduceCalls uint64 // top-level KReduce invocations
+	GCRuns       uint64 // completed garbage collections
 }
 
 // Stats returns a snapshot of the Manager's counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Created:     m.created,
-		Live:        m.unique.count,
-		PeakUnique:  m.peakUnique,
-		ApplyHits:   m.applyHits,
-		ApplyMisses: m.applyMisses,
+		Created:      m.created,
+		Live:         m.unique.count,
+		PeakUnique:   m.peakUnique,
+		ApplyHits:    m.applyHits,
+		ApplyMisses:  m.applyMisses,
+		Apply:        CacheStats{Hits: m.applyHits, Misses: m.applyMisses},
+		Neg:          CacheStats{Hits: m.negHits, Misses: m.negMisses},
+		KReduce:      CacheStats{Hits: m.kreduceHits, Misses: m.kreduceMisses},
+		Range:        CacheStats{Hits: m.rangeHits, Misses: m.rangeMisses},
+		Import:       CacheStats{Hits: m.importHits, Misses: m.importMisses},
+		KReduceCalls: m.kreduceCalls,
+		GCRuns:       m.gcRuns,
 	}
 }
 
 // ClearCaches drops all operation caches (but not the unique table). Useful
-// between verification phases to bound memory.
+// between verification phases to bound memory. Every cache — including the
+// import memo — is re-created fresh, and the cumulative hit/miss counters
+// are untouched: they are counters, not cache contents.
 func (m *Manager) ClearCaches() {
 	m.applyTbl = newApplyCache()
 	m.negTbl = newUnaryCache()
 	m.kreduceTbl = newKReduceCache()
 	m.rangeTbl = newRangeCache()
-	m.importTbl = nil
+	m.importTbl = make(map[*Node]*Node)
 }

@@ -217,8 +217,10 @@ func (m *Manager) Not(f *Node) *Node {
 		return m.zero
 	}
 	if r, ok := m.negTbl.get(f.id); ok {
+		m.negHits++
 		return r
 	}
+	m.negMisses++
 	var r *Node
 	if f.IsTerminal() {
 		if f.Value != 0 {

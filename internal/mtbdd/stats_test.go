@@ -1,0 +1,232 @@
+package mtbdd
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildChain returns a manager with n vars and an MTBDD summing them —
+// enough structure to exercise every cache.
+func buildChain(t *testing.T, n int) (*Manager, *Node) {
+	t.Helper()
+	m := New()
+	for i := 0; i < n; i++ {
+		m.AddVar("x")
+	}
+	f := m.Zero()
+	for i := 0; i < n; i++ {
+		f = m.Add(f, m.Var(i))
+	}
+	return m, f
+}
+
+// Every one of the five operation caches must account hits and misses.
+// Before this existed, Stats reported apply-only, so cache efficacy was
+// systematically misreported (ISSUE 4 satellite 1).
+func TestPerCacheCounters(t *testing.T) {
+	m, f := buildChain(t, 8)
+	g := m.Var(3)
+
+	// neg: first Not computes (miss), second is a hit.
+	m.Not(f)
+	m.Not(f)
+	// kreduce: same recursion twice.
+	m.KReduce(f, 2)
+	m.KReduce(f, 2)
+	// range: second query hits the root entry.
+	m.Range(f)
+	m.Range(f)
+	// apply already counted; make sure there is at least one hit.
+	m.Add(f, g)
+	m.Add(f, g)
+
+	// import: pull f into a second manager twice.
+	dst := New()
+	for i := 0; i < 8; i++ {
+		dst.AddVar("x")
+	}
+	dst.Import(f)
+	dst.Import(f)
+
+	st := m.Stats()
+	for _, c := range []struct {
+		name string
+		cs   CacheStats
+	}{
+		{"apply", st.Apply},
+		{"neg", st.Neg},
+		{"kreduce", st.KReduce},
+		{"range", st.Range},
+	} {
+		if c.cs.Misses == 0 {
+			t.Errorf("%s cache recorded no misses: %+v", c.name, c.cs)
+		}
+		if c.cs.Hits == 0 {
+			t.Errorf("%s cache recorded no hits: %+v", c.name, c.cs)
+		}
+	}
+	ist := dst.Stats()
+	if ist.Import.Misses == 0 || ist.Import.Hits == 0 {
+		t.Errorf("import cache = %+v, want both hits and misses", ist.Import)
+	}
+	if st.KReduceCalls != 2 {
+		t.Errorf("KReduceCalls = %d, want 2", st.KReduceCalls)
+	}
+	// The legacy flat fields must mirror the Apply breakdown — existing
+	// consumers read ApplyHits/ApplyMisses.
+	if st.ApplyHits != st.Apply.Hits || st.ApplyMisses != st.Apply.Misses {
+		t.Errorf("legacy apply fields diverge: flat %d/%d vs %+v",
+			st.ApplyHits, st.ApplyMisses, st.Apply)
+	}
+}
+
+// The contract pinned here: ClearCaches drops cache *contents*, never
+// counters. Cumulative hit/miss tallies are stable across a clear and
+// keep growing afterwards.
+func TestCacheCountersSurviveClearCaches(t *testing.T) {
+	m, f := buildChain(t, 8)
+	m.Not(f)
+	m.Not(f)
+	m.KReduce(f, 2)
+	m.KReduce(f, 2)
+	m.Range(f)
+	m.Range(f)
+
+	dst := New()
+	for i := 0; i < 8; i++ {
+		dst.AddVar("x")
+	}
+	dst.Import(f)
+
+	before := m.Stats()
+	m.ClearCaches()
+	after := m.Stats()
+	if before.Apply != after.Apply || before.Neg != after.Neg ||
+		before.KReduce != after.KReduce || before.Range != after.Range ||
+		before.Import != after.Import || before.KReduceCalls != after.KReduceCalls {
+		t.Fatalf("ClearCaches changed cumulative counters:\nbefore %+v\nafter  %+v", before, after)
+	}
+
+	ib := dst.Stats()
+	dst.ClearCaches()
+	if ia := dst.Stats(); ia.Import != ib.Import {
+		t.Fatalf("ClearCaches changed import counters: before %+v after %+v", ib.Import, ia.Import)
+	}
+
+	// Post-clear the caches are empty, so repeating an operation misses
+	// again: counters strictly grow.
+	m.Not(f)
+	grown := m.Stats()
+	if grown.Neg.Misses <= after.Neg.Misses {
+		t.Fatalf("post-clear Not should miss the fresh cache: %+v vs %+v", grown.Neg, after.Neg)
+	}
+}
+
+// Satellite 2: importTbl used to be nil'd by ClearCaches while every
+// other cache was re-created fresh. Pin the unified behavior: the memo
+// is a fresh usable map after New and after ClearCaches, and a
+// post-clear Import works and re-memoizes.
+func TestClearCachesResetsImportTbl(t *testing.T) {
+	src, f := buildChain(t, 6)
+	_ = src
+
+	dst := New()
+	for i := 0; i < 6; i++ {
+		dst.AddVar("x")
+	}
+	if dst.importTbl == nil {
+		t.Fatal("New must install a fresh importTbl")
+	}
+	first := dst.Import(f)
+	dst.ClearCaches()
+	if dst.importTbl == nil {
+		t.Fatal("ClearCaches must re-create importTbl, not nil it")
+	}
+	if len(dst.importTbl) != 0 {
+		t.Fatalf("ClearCaches left %d stale import entries", len(dst.importTbl))
+	}
+	second := dst.Import(f)
+	if first != second {
+		t.Fatal("post-clear Import must rebuild to the same canonical node")
+	}
+	if len(dst.importTbl) == 0 {
+		t.Fatal("post-clear Import must re-populate the memo")
+	}
+}
+
+// The instrumentation counters must not add allocations to the cached
+// fast paths: mk on an existing node, apply/Not/KReduce hitting their
+// caches (ISSUE 4 satellite 6).
+func TestFastPathAllocationFree(t *testing.T) {
+	m, f := buildChain(t, 8)
+	g := m.Var(3)
+	// Warm every cache.
+	m.Add(f, g)
+	m.Not(f)
+	m.KReduce(f, 2)
+
+	if n := testing.AllocsPerRun(200, func() { m.Var(3) }); n != 0 {
+		t.Errorf("mk fast path allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.Add(f, g) }); n != 0 {
+		t.Errorf("cached apply allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.Not(f) }); n != 0 {
+		t.Errorf("cached Not allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.KReduce(f, 2) }); n != 0 {
+		t.Errorf("cached KReduce allocates %v per op", n)
+	}
+}
+
+// Pin the stride-4096 polling cadence: with a hook installed from
+// opTick zero, the hook fires exactly once per interruptStride counted
+// operations — instrumentation must not change the cadence.
+func TestInterruptPollingStride(t *testing.T) {
+	if interruptStride != 4096 {
+		t.Fatalf("interruptStride = %d, want 4096 (update DESIGN.md §11 if intentional)", interruptStride)
+	}
+	m := New()
+	for i := 0; i < 64; i++ {
+		m.AddVar("x")
+	}
+	calls := 0
+	m.SetInterrupt(func() error {
+		calls++
+		return nil
+	})
+	// Drive enough cache-missing work to pass several stride windows.
+	f := m.Zero()
+	for round := 0; round < 6; round++ {
+		f = m.Zero()
+		for i := 0; i < 64; i++ {
+			f = m.Add(f, m.Scale(float64(round+1), m.Var(i)))
+		}
+		f = m.KReduce(f, 4)
+		m.ClearCaches() // force misses next round; counters unaffected
+	}
+	if m.opTick < interruptStride {
+		t.Fatalf("workload too small to cross a stride window: opTick=%d", m.opTick)
+	}
+	want := int(m.opTick / interruptStride)
+	if calls != want {
+		t.Fatalf("hook fired %d times over %d ops, want exactly %d (one per %d ops)",
+			calls, m.opTick, want, interruptStride)
+	}
+
+	// An erroring hook still aborts at the next poll point.
+	bail := errors.New("bail")
+	m.SetInterrupt(func() error { return bail })
+	err := Guard(func() {
+		for {
+			g := m.Zero()
+			for i := 0; i < 64; i++ {
+				g = m.Add(g, m.Var(i))
+			}
+			m.ClearCaches()
+		}
+	})
+	if !errors.Is(err, bail) {
+		t.Fatalf("Guard returned %v, want the hook's error", err)
+	}
+}

@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -12,8 +13,8 @@ import (
 	"github.com/yu-verify/yu/internal/topo"
 )
 
-// TestDeadlineTimesOut checks an already-expired deadline aborts the
-// search before it evaluates anything, and that the report says so.
+// TestDeadlineTimesOut checks an already-expired context deadline aborts
+// the search before it evaluates anything, and that the report says so.
 func TestDeadlineTimesOut(t *testing.T) {
 	spec, err := gen.FatTree(gen.FatTreeSpec{Pods: 4})
 	if err != nil {
@@ -24,7 +25,9 @@ func TestDeadlineTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	model := NewModel(spec.Net, spec.Configs, flows)
-	rep := model.Verify(3, Options{OverloadFactor: 1.0, Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rep := model.Verify(3, Options{OverloadFactor: 1.0, Ctx: ctx})
 	if !rep.TimedOut {
 		t.Fatal("expired deadline must set TimedOut")
 	}

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"net/netip"
 	"sort"
-	"time"
 
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/govern"
@@ -125,13 +124,9 @@ type Options struct {
 	// StopAtFirst halts at the first violation.
 	StopAtFirst bool
 	// Ctx, when non-nil, makes the search cancellable; it is polled
-	// periodically between scenarios.
+	// periodically between scenarios. Wall-clock limits are expressed as
+	// a deadline on Ctx (context.WithTimeout / WithDeadline).
 	Ctx context.Context
-	// Deadline, when nonzero, aborts the search once passed.
-	//
-	// Deprecated: carried as context.WithDeadline on Ctx; prefer setting
-	// a deadline on Ctx directly.
-	Deadline time.Time
 }
 
 // Verify searches all failure sets of at most k links for an overloaded
@@ -141,8 +136,7 @@ func (m *Model) Verify(k int, opts Options) *Report {
 	if opts.OverloadFactor <= 0 {
 		opts.OverloadFactor = 1
 	}
-	ctx, cancel := govern.WithDeadline(opts.Ctx, opts.Deadline)
-	defer cancel()
+	ctx := opts.Ctx
 	down := make([]bool, m.net.NumLinks())
 	var chosen []topo.LinkID
 

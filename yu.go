@@ -40,6 +40,7 @@ import (
 	"github.com/yu-verify/yu/internal/core"
 	"github.com/yu-verify/yu/internal/govern"
 	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/spath"
 	"github.com/yu-verify/yu/internal/topo"
@@ -66,7 +67,19 @@ type (
 	DirLinkID = topo.DirLinkID
 	// BudgetPolicy selects the response to an MTBDD node-budget breach.
 	BudgetPolicy = core.BudgetPolicy
+	// Metrics is the run-metrics registry for VerifyOptions.Obs: phase
+	// timings, per-cache MTBDD hit/miss counters, per-worker counters
+	// (DESIGN.md §11). Create with NewMetrics; read with Snapshot.
+	Metrics = obs.Registry
+	// MetricsSnapshot is the serializable view of a Metrics registry —
+	// the payload behind `yu -metrics=json`.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewMetrics returns an empty metrics registry to attach to a run via
+// VerifyOptions.Obs. Metrics collection is off (and free) when the
+// field is nil.
+func NewMetrics() *Metrics { return obs.New() }
 
 // Failure modes.
 const (
@@ -203,6 +216,12 @@ type VerifyOptions struct {
 	// OnBudget selects the response to an unrelieved MaxNodes breach:
 	// BudgetFail (default) or BudgetDegrade.
 	OnBudget BudgetPolicy
+	// Obs, when non-nil, collects run metrics — phase durations,
+	// per-manager MTBDD cache stats, per-worker counters — into the
+	// registry (read them with Obs.Snapshot() after Verify returns,
+	// including on partial/incomplete runs). nil disables collection
+	// with zero overhead.
+	Obs *Metrics
 }
 
 // Report is the outcome of a verification run.
@@ -292,6 +311,8 @@ func (n *Network) Verify(opts VerifyOptions) (*Report, error) {
 // (the whole-run fallback when even symbolic route simulation cannot fit
 // its node budget).
 func (n *Network) verifyEnumerate(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
+	sp := opts.Obs.Span("enumerate")
+	defer sp.End()
 	sim := concrete.NewSim(n.spec.Net, n.spec.Configs)
 	rep := sim.VerifyKFailures(flows, k, mode, concrete.EnumOptions{
 		OverloadFactor: opts.OverloadFactor,
@@ -367,6 +388,7 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 	}
 	rs, err := routesim.RunContext(opts.Ctx, fv, n.spec.Configs)
 	routeTime := time.Since(start)
+	opts.Obs.AddPhase("routesim", routeTime)
 	if err != nil {
 		if errors.Is(err, ErrNodeBudget) && opts.OnBudget == BudgetDegrade {
 			// Rung 4 of the degradation ladder: the budget cannot even
@@ -391,6 +413,7 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 				MTBDDNodes:   m.Stats().Live,
 			}
 			n.markAllUnchecked(out, opts.OverloadFactor)
+			core.RecordManager(opts.Obs, "primary", m)
 			return out, err
 		}
 		return nil, err
@@ -403,9 +426,15 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		NodeBudget:            opts.MaxNodes,
 		OnBudget:              opts.OnBudget,
 		Configs:               n.spec.Configs,
+		Obs:                   opts.Obs,
 	})
+	execSpan := opts.Obs.Span("execute")
 	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
+	execSpan.End()
+	checkSpan := opts.Obs.Span("check")
 	rep, verr := ver.Run(n.spec.Props, n.spec.Delivered, opts.OverloadFactor)
+	checkSpan.End()
+	core.RecordManager(opts.Obs, "primary", eng.Manager())
 	if verr == nil && rep.Incomplete && opts.OnBudget == BudgetDegrade && opts.MaxNodes > 0 {
 		// The budget let execution through (possibly via per-flow
 		// fallbacks) but was too tight for the aggregation checks, which
