@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|overhead|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|overhead|kernels|all
 //	        [-scale quick|full] [-baseline-budget 30s]
-//	        [-workers 1,2,4,8] [-json TAG]
+//	        [-workers 1,2,4,8] [-rounds 3] [-json TAG]
 //
 // Quick scale finishes in minutes; full scale uses the paper's Table 3
 // router/link counts and can run for hours single-threaded. Baseline
@@ -14,8 +14,10 @@
 // the paper reports "> 3600" cells.
 //
 // The workers experiment sweeps the parallel pipeline's worker count on
-// the medium WAN case; -json TAG additionally writes the measurements to
-// BENCH_TAG.json for machine consumption.
+// the medium WAN case; the kernels experiment compares the fused MTBDD
+// kernels against the composed build-then-reduce pipeline on N0; -json
+// TAG additionally writes the measurements to BENCH_TAG.json for machine
+// consumption.
 package main
 
 import (
@@ -33,10 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, overhead, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, overhead, kernels, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
+	rounds := flag.Int("rounds", 3, "best-of rounds for the overhead and kernels experiments")
 	jsonTag := flag.String("json", "", "write measurements to BENCH_<TAG>.json")
 	flag.Parse()
 
@@ -77,7 +80,15 @@ func main() {
 			return nil
 		},
 		"overhead": func() error {
-			rs, err := bench.OverheadSweep(os.Stdout, scale, 3)
+			rs, err := bench.OverheadSweep(os.Stdout, scale, *rounds)
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
+		"kernels": func() error {
+			rs, err := bench.KernelsSweep(os.Stdout, scale, *rounds)
 			if err != nil {
 				return err
 			}
@@ -92,7 +103,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "overhead"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "overhead", "kernels"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -91,6 +91,12 @@ type YURun struct {
 	MTBDDNodes int
 	Executed   int
 	LinkStats  []core.LinkCheckStat
+	// Created counts every node the primary manager ever hash-consed —
+	// the allocation-pressure metric the kernels sweep compares.
+	Created int
+	// FusionCuts counts subproblems the fused kernels collapsed to a
+	// terminal at budget exhaustion (0 for the NoFuse pipeline).
+	FusionCuts uint64
 }
 
 // runYU executes the full YU pipeline sequentially.
@@ -101,6 +107,14 @@ func runYU(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, o
 // runYUWorkers executes the full YU pipeline with the given parallelism
 // degree (1 = the exact legacy sequential path).
 func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, opts core.Options, overload float64, workers int) (*YURun, error) {
+	return runYUVariant(spec, flows, k, mode, opts, overload, workers, false)
+}
+
+// runYUVariant is runYUWorkers with the fused-kernel ablation switch:
+// noFuse routes every Reduce(op(...)) call site through the composed
+// build-then-reduce form instead of the fused kernels, the pre-fusion
+// pipeline the kernels sweep baselines against.
+func runYUVariant(spec *config.Spec, flows []topo.Flow, k int, mode topo.FailureMode, opts core.Options, overload float64, workers int, noFuse bool) (*YURun, error) {
 	start := time.Now()
 	m := mtbdd.New()
 	budget := k
@@ -108,6 +122,7 @@ func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.Failure
 		budget = -1 // "w/o MTBDD reduction" ablation
 	}
 	fv := routesim.NewFailVars(m, spec.Net, mode, budget)
+	fv.NoFuse = noFuse
 	rs, err := routesim.Run(fv, spec.Configs)
 	if err != nil {
 		return nil, err
@@ -125,15 +140,18 @@ func runYUWorkers(spec *config.Spec, flows []topo.Flow, k int, mode topo.Failure
 	if err != nil {
 		return nil, err
 	}
+	st := m.Stats()
 	return &YURun{
 		Elapsed:    time.Since(start),
 		RouteTime:  routeTime,
 		Violations: len(rep.Violations),
 		// Peak unique-table size: the Fig 16 "MTBDD nodes generated"
 		// metric, independent of managed-GC timing.
-		MTBDDNodes: m.Stats().PeakUnique,
+		MTBDDNodes: st.PeakUnique,
 		Executed:   rep.FlowsExecuted,
 		LinkStats:  rep.LinkStats,
+		Created:    int(st.Created),
+		FusionCuts: st.FusionCuts,
 	}, nil
 }
 

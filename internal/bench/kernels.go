@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// KernelsSweep measures what the fused MTBDD kernels buy on the N0 case:
+// the same verification runs with fusion enabled (the default pipeline:
+// AddK/MulK/MulAddK/AddNK construct the KREDUCEd result directly) and
+// with NoFuse (every call site composes the plain operator with an
+// explicit KReduce, materializing the unreduced intermediate — the
+// pre-fusion pipeline). The two runs are interleaved per round so
+// thermal and cache drift hit both sides equally, best-of-rounds wall
+// times are compared, and both sides must agree on violations and
+// executed flows (the oracle battery checks value equality far more
+// finely; this is the final cheap tripwire).
+//
+// Wall time on a single-core CI container can under-sell the win; the
+// allocation columns cannot: peak_unique_nodes and created_nodes count
+// how many MTBDD nodes the run ever hash-consed, and fusion_cuts counts
+// the subproblems the budget cut off before construction. Those are
+// machine-independent evidence (EXPERIMENTS.md, "Kernels sweep").
+func KernelsSweep(w io.Writer, scale Scale, rounds int) ([]BenchRecord, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	c := wanCases(scale)[0] // N0
+	spec, flows, err := buildWAN(c)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Kernels sweep: %s (%d routers, %d links), %d flows, best of %d\n",
+		c.name, spec.Net.NumRouters(), spec.Net.NumLinks(), len(flows), rounds)
+	fmt.Fprintf(w, "%-3s %-10s %12s %12s %12s %12s %12s %9s\n",
+		"k", "variant", "wall", "exec+check", "peak nodes", "created", "fusion cuts", "speedup")
+
+	var records []BenchRecord
+	for _, k := range c.ks {
+		var fused, composed *YURun
+		for r := 0; r < rounds; r++ {
+			fr, err := runYUVariant(spec, flows, k, topo.FailLinks, core.Options{}, 1.0, 1, false)
+			if err != nil {
+				return nil, err
+			}
+			if fused == nil || fr.Elapsed < fused.Elapsed {
+				fused = fr
+			}
+			cr, err := runYUVariant(spec, flows, k, topo.FailLinks, core.Options{}, 1.0, 1, true)
+			if err != nil {
+				return nil, err
+			}
+			if composed == nil || cr.Elapsed < composed.Elapsed {
+				composed = cr
+			}
+		}
+		if fused.Violations != composed.Violations || fused.Executed != composed.Executed {
+			return nil, fmt.Errorf("k=%d: fused run diverged: %d/%d violations, %d/%d flows",
+				k, fused.Violations, composed.Violations, fused.Executed, composed.Executed)
+		}
+		speedup := float64(composed.Elapsed-composed.RouteTime) / float64(fused.Elapsed-fused.RouteTime)
+		mk := func(variant string, run *YURun, speedup float64) BenchRecord {
+			return BenchRecord{
+				Experiment:      "kernels",
+				Case:            c.name + "-" + variant,
+				K:               k,
+				Mode:            topo.FailLinks.String(),
+				Workers:         1,
+				WallMS:          float64(run.Elapsed.Microseconds()) / 1000,
+				RouteSimMS:      float64(run.RouteTime.Microseconds()) / 1000,
+				ExecCheckMS:     float64((run.Elapsed - run.RouteTime).Microseconds()) / 1000,
+				PeakUniqueNodes: run.MTBDDNodes,
+				CreatedNodes:    run.Created,
+				FusionCuts:      run.FusionCuts,
+				FlowsExecuted:   run.Executed,
+				Violations:      run.Violations,
+				Speedup:         speedup,
+			}
+		}
+		records = append(records, mk("composed", composed, 1), mk("fused", fused, speedup))
+		for _, row := range []struct {
+			name    string
+			run     *YURun
+			speedup float64
+		}{{"composed", composed, 1}, {"fused", fused, speedup}} {
+			fmt.Fprintf(w, "%-3d %-10s %12s %12s %12d %12d %12d %8.2fx\n",
+				k, row.name, fmtDur(row.run.Elapsed, false),
+				fmtDur(row.run.Elapsed-row.run.RouteTime, false),
+				row.run.MTBDDNodes, row.run.Created, row.run.FusionCuts, row.speedup)
+		}
+	}
+	return records, nil
+}

@@ -27,8 +27,18 @@ type BenchRecord struct {
 	// execution intermediates live in shards, so this measures what the
 	// merged STFs and the checking phase cost the primary table.
 	PeakUniqueNodes int `json:"peak_unique_nodes"`
-	FlowsExecuted   int `json:"flows_executed"`
-	Violations      int `json:"violations"`
+	// CreatedNodes counts every node the primary manager hash-consed
+	// over the run's lifetime — unlike the peak it cannot be masked by
+	// GC timing, so it is the kernels experiment's primary evidence.
+	CreatedNodes int `json:"created_nodes,omitempty"`
+	// ExecCheckMS is wall time minus route simulation: the execute+check
+	// span the fused kernels target (route simulation is shared).
+	ExecCheckMS float64 `json:"exec_check_ms,omitempty"`
+	// FusionCuts counts budget-exhaustion collapses inside the fused
+	// kernels (0 when fusion is off).
+	FusionCuts    uint64 `json:"fusion_cuts,omitempty"`
+	FlowsExecuted int    `json:"flows_executed"`
+	Violations    int    `json:"violations"`
 	// Speedup is wall time at workers=1 divided by this record's wall
 	// time (1.0 for the workers=1 row itself).
 	Speedup float64 `json:"speedup"`

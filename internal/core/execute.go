@@ -116,27 +116,27 @@ func (e *Engine) ExecuteFlow(f topo.Flow) *FlowSTF {
 				st = e.forwardSr(k.router, class, f.DSCP, in.stack)
 			}
 			if st.delivered != m.Zero() {
-				res.Delivered = fv.Reduce(m.Add(res.Delivered, m.Mul(in.omega, st.delivered)))
+				res.Delivered = fv.ReduceMulAdd(res.Delivered, in.omega, st.delivered)
 			}
 			if st.dropped != m.Zero() {
-				res.Dropped = fv.Reduce(m.Add(res.Dropped, m.Mul(in.omega, st.dropped)))
+				res.Dropped = fv.ReduceMulAdd(res.Dropped, in.omega, st.dropped)
 			}
 			for _, ok2 := range sortedOut(st.out) {
 				o := st.out[ok2]
-				t := fv.Reduce(m.Mul(in.omega, o.frac))
+				t := fv.ReduceMul(in.omega, o.frac)
 				if t == m.Zero() {
 					continue
 				}
 				link := ok2.link
 				if prev, ok := res.Links[link]; ok {
-					res.Links[link] = fv.Reduce(m.Add(prev, t))
+					res.Links[link] = fv.ReduceAdd(prev, t)
 				} else {
 					res.Links[link] = t
 				}
 				to := e.net.Edge(link).To
 				nk := inKey{to, ok2.stackKey}
 				if prev, ok := next[nk]; ok {
-					next[nk] = inVal{o.stack, fv.Reduce(m.Add(prev.omega, t))}
+					next[nk] = inVal{o.stack, fv.ReduceAdd(prev.omega, t)}
 				} else {
 					next[nk] = inVal{o.stack, t}
 				}
@@ -146,7 +146,7 @@ func (e *Engine) ExecuteFlow(f topo.Flow) *FlowSTF {
 	}
 	res.Iterations = iter
 	for _, k := range sortedFront(front) {
-		res.InFlight = fv.Reduce(m.Add(res.InFlight, front[k].omega))
+		res.InFlight = fv.ReduceAdd(res.InFlight, front[k].omega)
 	}
 	return res
 }

@@ -122,32 +122,34 @@ func (e *Engine) buildIPStep(r topo.RouterID, class int, dscp uint8, depth int) 
 		sel *mtbdd.Node
 	}
 	var rules []selRule
+	var sels []*mtbdd.Node
 	better := m.Zero()
-	total := m.Zero()
 	for _, grp := range groups {
 		groupOr := m.Zero()
 		for _, ru := range grp {
-			sel := fv.Reduce(m.And(ru.guard, m.Not(better)))
+			sel := fv.ReduceAnd(ru.guard, m.Not(better))
 			rules = append(rules, selRule{ru, sel})
-			total = m.Add(total, sel)
+			sels = append(sels, sel)
 			groupOr = m.Or(groupOr, ru.guard)
 		}
-		better = fv.Reduce(m.Or(better, groupOr))
+		better = fv.ReduceOr(better, groupOr)
 	}
-	total = fv.Reduce(total)
+	// Selection guards are {0,1}, so their sum is exact and a balanced
+	// fused tree is safe (see FailVars.ReduceSum).
+	total := fv.ReduceSum(sels)
 	// Traffic with no selected rule at all is dropped (no route).
-	st.dropped = m.Add(st.dropped, fv.Reduce(m.Not(fv.Reduce(m.Min(total, m.One())))))
+	st.dropped = m.Add(st.dropped, fv.Reduce(m.Not(fv.ReduceMin(total, m.One()))))
 
 	for _, ru := range rules {
 		if ru.sel == m.Zero() {
 			continue
 		}
-		c := fv.Reduce(m.Div(ru.sel, total))
+		c := fv.ReduceDiv(ru.sel, total)
 		switch {
 		case ru.deliver:
-			st.delivered = fv.Reduce(m.Add(st.delivered, c))
+			st.delivered = fv.ReduceAdd(st.delivered, c)
 		case ru.discard:
-			st.dropped = fv.Reduce(m.Add(st.dropped, c))
+			st.dropped = fv.ReduceAdd(st.dropped, c)
 		case ru.direct:
 			e.addOut(st, ru.out, nil, c)
 		default:
@@ -162,33 +164,34 @@ func (e *Engine) buildIPStep(r topo.RouterID, class int, dscp uint8, depth int) 
 func (e *Engine) resolveNhIP(st *step, r topo.RouterID, class int, dscp uint8, ru rule, c *mtbdd.Node, depth int) {
 	m, fv := e.m, e.fv
 	if pol := e.matchSRPolicy(r, ru.viaAddr, dscp); pol != nil && depth < maxSRChain {
-		// Weighted SR paths: c_p = g_p * w_p / Σ g_p' * w_p'.
+		// Weighted SR paths: c_p = g_p * w_p / Σ g_p' * w_p'. Integer
+		// weights times {0,1} guards sum exactly, and the fused
+		// multiply-accumulate never materializes the scaled products.
 		denom := m.Zero()
 		for _, p := range pol.Paths {
-			denom = m.Add(denom, m.Scale(float64(p.Weight), p.Guard))
+			denom = fv.ReduceMulAdd(denom, m.Const(float64(p.Weight)), p.Guard)
 		}
-		denom = fv.Reduce(denom)
 		served := m.Zero()
 		for _, p := range pol.Paths {
-			cp := fv.Reduce(m.Div(m.Scale(float64(p.Weight), p.Guard), denom))
+			cp := fv.ReduceDiv(m.Scale(float64(p.Weight), p.Guard), denom)
 			if cp == m.Zero() {
 				continue
 			}
-			served = fv.Reduce(m.Add(served, cp))
-			e.emitSR(st, r, class, dscp, stack(p.Segments), fv.Reduce(m.Mul(c, cp)), depth+1)
+			served = fv.ReduceAdd(served, cp)
+			e.emitSR(st, r, class, dscp, stack(p.Segments), fv.ReduceMul(c, cp), depth+1)
 		}
 		// Scenarios where no SR path is valid: the policy holds the
 		// traffic and it is dropped (strict steering).
-		rem := fv.Reduce(m.Mul(c, m.Sub(m.One(), served)))
-		st.dropped = fv.Reduce(m.Add(st.dropped, rem))
+		rem := fv.ReduceMul(c, m.Sub(m.One(), served))
+		st.dropped = fv.ReduceAdd(st.dropped, rem)
 		return
 	}
 	// Plain IGP route iteration.
 	vec := e.igpVec(r, ru.viaRouter)
 	for l, frac := range vec.perLink {
-		e.addOut(st, l, nil, fv.Reduce(m.Mul(c, frac)))
+		e.addOut(st, l, nil, fv.ReduceMul(c, frac))
 	}
-	st.dropped = fv.Reduce(m.Add(st.dropped, fv.Reduce(m.Mul(c, m.Sub(m.One(), vec.total)))))
+	st.dropped = fv.ReduceAdd(st.dropped, fv.ReduceMul(c, m.Sub(m.One(), vec.total)))
 }
 
 // emitSR routes traffic carrying label stack s out of router r: pop any
@@ -202,18 +205,18 @@ func (e *Engine) emitSR(st *step, r topo.RouterID, class int, dscp uint8, s stac
 	if len(s) == 0 {
 		// Stack exhausted at this router: continue as IP traffic here.
 		sub := e.buildIPStep(r, class, dscp, depth)
-		st.delivered = fv.Reduce(m.Add(st.delivered, m.Mul(w, sub.delivered)))
-		st.dropped = fv.Reduce(m.Add(st.dropped, m.Mul(w, sub.dropped)))
+		st.delivered = fv.ReduceMulAdd(st.delivered, w, sub.delivered)
+		st.dropped = fv.ReduceMulAdd(st.dropped, w, sub.dropped)
 		for k, o := range sub.out {
-			e.addOut(st, k.link, o.stack, fv.Reduce(m.Mul(w, o.frac)))
+			e.addOut(st, k.link, o.stack, fv.ReduceMul(w, o.frac))
 		}
 		return
 	}
 	vec := e.igpVec(r, s[0])
 	for l, frac := range vec.perLink {
-		e.addOut(st, l, s, fv.Reduce(m.Mul(w, frac)))
+		e.addOut(st, l, s, fv.ReduceMul(w, frac))
 	}
-	st.dropped = fv.Reduce(m.Add(st.dropped, fv.Reduce(m.Mul(w, m.Sub(m.One(), vec.total)))))
+	st.dropped = fv.ReduceAdd(st.dropped, fv.ReduceMul(w, m.Sub(m.One(), vec.total)))
 }
 
 // forwardSr is the cached step for traffic arriving at r with a non-empty
@@ -236,7 +239,7 @@ func (e *Engine) addOut(st *step, l topo.DirLinkID, s stack, frac *mtbdd.Node) {
 	}
 	k := outKey{l, s.key()}
 	if prev, ok := st.out[k]; ok {
-		st.out[k] = stepOut{frac: e.fv.Reduce(e.m.Add(prev.frac, frac)), stack: s}
+		st.out[k] = stepOut{frac: e.fv.ReduceAdd(prev.frac, frac), stack: s}
 	} else {
 		st.out[k] = stepOut{frac: frac, stack: s}
 	}
@@ -274,37 +277,37 @@ func (e *Engine) igpVec(r, dest topo.RouterID) *igpVec {
 	if len(routes) > 0 {
 		sels := make([]*mtbdd.Node, len(routes))
 		better := m.Zero()
-		total := m.Zero()
 		i := 0
 		for i < len(routes) {
 			j := i
 			groupOr := m.Zero()
 			for j < len(routes) && routes[j].Cost == routes[i].Cost {
-				sel := fv.Reduce(m.And(routes[j].Guard, m.Not(better)))
-				sels[j] = sel
-				total = m.Add(total, sel)
+				sels[j] = fv.ReduceAnd(routes[j].Guard, m.Not(better))
 				groupOr = m.Or(groupOr, routes[j].Guard)
 				j++
 			}
-			better = fv.Reduce(m.Or(better, groupOr))
+			better = fv.ReduceOr(better, groupOr)
 			i = j
 		}
-		total = fv.Reduce(total)
+		// Exact {0,1} selection guards: balanced fused sum is safe.
+		total := fv.ReduceSum(sels)
 		for idx, rt := range routes {
 			if sels[idx] == m.Zero() {
 				continue
 			}
-			c := fv.Reduce(m.Div(sels[idx], total))
+			c := fv.ReduceDiv(sels[idx], total)
 			if c == m.Zero() {
 				continue
 			}
 			if prev, ok := v.perLink[rt.Out]; ok {
-				v.perLink[rt.Out] = fv.Reduce(m.Add(prev, c))
+				// Fractional ratios: keep the in-order pairwise fold so the
+				// float expression matches the legacy pipeline bit-for-bit.
+				v.perLink[rt.Out] = fv.ReduceAdd(prev, c)
 			} else {
 				v.perLink[rt.Out] = c
 			}
 		}
-		v.total = fv.Reduce(m.Min(total, m.One()))
+		v.total = fv.ReduceMin(total, m.One())
 	}
 	e.igpCache[key] = v
 	return v

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -64,13 +65,40 @@ func TestCancelMidParallelRun(t *testing.T) {
 	}
 }
 
+// pollCancelCtx is a context that, once armed, cancels itself after its
+// Err method has been polled a fixed number of times. Wall-clock sleeps
+// race with how fast the phase under test runs (the fused kernels made
+// the check phase quick enough for a 2ms timer to occasionally lose);
+// counting polls lands the cancellation mid-phase deterministically,
+// because the governance layer observes cancellation exclusively through
+// Err — both the per-job govern.Check and the managers' interrupt hooks.
+type pollCancelCtx struct {
+	context.Context
+	armed atomic.Bool
+	left  atomic.Int64
+}
+
+func (c *pollCancelCtx) arm(polls int64) {
+	c.left.Store(polls)
+	c.armed.Store(true)
+}
+
+func (c *pollCancelCtx) Err() error {
+	if !c.armed.Load() {
+		return nil
+	}
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
 // TestCancelMidParallelCheckPhase lets sharded execution finish, then
 // cancels while the parallel per-link check loop is running: the run
 // must return promptly with the remaining links listed as unchecked.
 func TestCancelMidParallelCheckPhase(t *testing.T) {
 	spec, flows := wanWorkload(t)
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	ctx := &pollCancelCtx{Context: context.Background()}
 	eng := buildEngine(t, spec, topo.FailLinks, 1, Options{
 		Ctx: ctx, DisableEarlyTermination: true,
 	})
@@ -78,10 +106,11 @@ func TestCancelMidParallelCheckPhase(t *testing.T) {
 	if v.Err() != nil {
 		t.Fatalf("execution failed before cancel: %v", v.Err())
 	}
-	go func() {
-		time.Sleep(2 * time.Millisecond)
-		cancel()
-	}()
+	// Arm only now, so the countdown cannot be consumed by route
+	// simulation or flow execution: it survives the handful of polls
+	// issued while the first links are claimed, then cancels — always
+	// inside the check loop.
+	ctx.arm(8)
 	start := time.Now()
 	rep, err := v.Run(nil, nil, 0.5)
 	elapsed := time.Since(start)

@@ -32,12 +32,15 @@ func ManagerObsStats(name string, m *mtbdd.Manager) obs.ManagerStats {
 		PeakLive:     st.PeakUnique,
 		GCRuns:       st.GCRuns,
 		KReduceCalls: st.KReduceCalls,
+		FusionCuts:   st.FusionCuts,
+		MaxProbe:     st.MaxProbe,
 		Caches: map[string]obs.CacheCounters{
 			"apply":   {Hits: st.Apply.Hits, Misses: st.Apply.Misses},
 			"neg":     {Hits: st.Neg.Hits, Misses: st.Neg.Misses},
 			"kreduce": {Hits: st.KReduce.Hits, Misses: st.KReduce.Misses},
 			"range":   {Hits: st.Range.Hits, Misses: st.Range.Misses},
 			"import":  {Hits: st.Import.Hits, Misses: st.Import.Misses},
+			"fused":   {Hits: st.Fused.Hits, Misses: st.Fused.Misses},
 		},
 	}
 }
@@ -56,14 +59,17 @@ func workerCounter(w int, name string) string {
 	return "worker." + strconv.Itoa(w) + "." + name
 }
 
-// reduceTimed is fv.Reduce with an optional timer. The nil check keeps
-// the uninstrumented path free of clock reads.
-func reduceTimed(t *obs.Timer, fv *routesim.FailVars, f *mtbdd.Node) *mtbdd.Node {
+// mulAddTimed is the load-aggregation step Reduce(acc + vol*w), computed
+// through the fused multiply-accumulate kernel, with an optional timer.
+// The timer keeps its historical "check/kreduce" identity: it measures
+// the reduction work of aggregation, which the fused kernel now performs
+// inline. The nil check keeps the uninstrumented path free of clock reads.
+func mulAddTimed(t *obs.Timer, fv *routesim.FailVars, acc *mtbdd.Node, vol float64, w *mtbdd.Node) *mtbdd.Node {
 	if t == nil {
-		return fv.Reduce(f)
+		return fv.ReduceMulAdd(acc, fv.M.Const(vol), w)
 	}
 	start := time.Now()
-	r := fv.Reduce(f)
+	r := fv.ReduceMulAdd(acc, fv.M.Const(vol), w)
 	t.Add(time.Since(start))
 	return r
 }

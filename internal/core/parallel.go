@@ -409,7 +409,7 @@ func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheck
 			}
 			stat.Flows++
 			stat.Classes++
-			tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(s.Flow.Gbps, m.Import(w))))
+			tau = mulAddTimed(c.v.kreduceT, fv, tau, s.Flow.Gbps, m.Import(w))
 		}
 	} else {
 		// Group by the primary manager's canonical pointer, first-seen
@@ -433,7 +433,7 @@ func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheck
 		}
 		stat.Classes = len(order)
 		for i, w := range order {
-			tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], m.Import(w))))
+			tau = mulAddTimed(c.v.kreduceT, fv, tau, vols[i], m.Import(w))
 		}
 	}
 	stat.Elapsed = time.Since(start)
@@ -510,7 +510,7 @@ func (c *shardChecker) checkLinkPruned(l topo.DirLinkID, limit float64) (LinkChe
 	remaining := total
 	tau := m.Zero()
 	for _, cl := range classes {
-		tau = reduceTimed(c.v.kreduceT, fv, m.Add(tau, m.Scale(cl.vol, cl.w)))
+		tau = mulAddTimed(c.v.kreduceT, fv, tau, cl.vol, cl.w)
 		remaining -= cl.vol * cl.max
 		_, hi := m.Range(tau)
 		if hi > violThreshold {

@@ -241,7 +241,7 @@ func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
 			}
 			stat.Flows++
 			stat.Classes++
-			tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(s.Flow.Gbps, w)))
+			tau = mulAddTimed(v.kreduceT, fv, tau, s.Flow.Gbps, w)
 		}
 	} else {
 		// Group in first-seen order: float addition is not associative,
@@ -265,7 +265,7 @@ func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
 		}
 		stat.Classes = len(order)
 		for i, w := range order {
-			tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], w)))
+			tau = mulAddTimed(v.kreduceT, fv, tau, vols[i], w)
 		}
 	}
 	stat.Elapsed = time.Since(start)
@@ -298,7 +298,7 @@ func (v *Verifier) DeliveredLoad(pfx netip.Prefix) (*mtbdd.Node, LinkCheckStat) 
 	stat.Classes = len(order)
 	tau := m.Zero()
 	for i, w := range order {
-		tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(vols[i], w)))
+		tau = mulAddTimed(v.kreduceT, fv, tau, vols[i], w)
 	}
 	stat.Elapsed = time.Since(start)
 	return tau, stat
@@ -517,7 +517,7 @@ func (v *Verifier) checkOverloadPruned(l topo.DirLinkID, limit float64, rep *Rep
 	remaining := total
 	tau := m.Zero()
 	for _, c := range classes {
-		tau = reduceTimed(v.kreduceT, fv, m.Add(tau, m.Scale(c.vol, c.w)))
+		tau = mulAddTimed(v.kreduceT, fv, tau, c.vol, c.w)
 		remaining -= c.vol * c.max
 		_, hi := m.Range(tau)
 		if hi > violThreshold {

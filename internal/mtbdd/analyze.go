@@ -58,26 +58,21 @@ func (a Assignment) String() string {
 
 // Terminals returns the sorted distinct terminal values reachable in f.
 func (m *Manager) Terminals(f *Node) []float64 {
-	seen := make(map[*Node]struct{})
-	vals := make(map[float64]struct{})
+	seen := m.newBitset()
+	var out []float64
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		if _, ok := seen[n]; ok {
+		if seen.visit(n.id) {
 			return
 		}
-		seen[n] = struct{}{}
 		if n.IsTerminal() {
-			vals[n.Value] = struct{}{}
+			out = append(out, n.Value)
 			return
 		}
 		walk(n.Lo)
 		walk(n.Hi)
 	}
 	walk(f)
-	out := make([]float64, 0, len(vals))
-	for v := range vals {
-		out = append(out, v)
-	}
 	sort.Float64s(out)
 	return out
 }

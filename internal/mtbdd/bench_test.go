@@ -1,0 +1,150 @@
+package mtbdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the fused-kernel layer (ISSUE 5): each pair
+// measures one fusion against the composed pipeline it replaces, on
+// operand shapes sized like symbolic traffic execution intermediates.
+// CI runs these with -benchtime=1x purely as a bit-rot tripwire; real
+// numbers come from `yubench -exp kernels` (EXPERIMENTS.md).
+
+const benchVars = 24
+
+func benchSetup(b *testing.B, seed int64) (*Manager, *rand.Rand) {
+	b.Helper()
+	m := New()
+	for i := 0; i < benchVars; i++ {
+		m.AddVar("x")
+	}
+	return m, rand.New(rand.NewSource(seed))
+}
+
+// BenchmarkApplyThenReduce is the pre-fusion shape: build the full sum,
+// then KREDUCE it. Compare with BenchmarkFusedAddK.
+func BenchmarkApplyThenReduce(b *testing.B) {
+	m, r := benchSetup(b, 61)
+	f := randomMTBDD(m, r, benchVars, 12)
+	g := randomMTBDD(m, r, benchVars, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.KReduce(m.Add(f, g), 2)
+	}
+}
+
+// BenchmarkFusedAddK is the same sum through the k-budgeted kernel: the
+// unreduced intermediate is never built.
+func BenchmarkFusedAddK(b *testing.B) {
+	m, r := benchSetup(b, 61)
+	f := randomMTBDD(m, r, benchVars, 12)
+	g := randomMTBDD(m, r, benchVars, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.AddK(f, g, 2)
+	}
+}
+
+// BenchmarkMulThenAddThenReduce is the composed weighted-accumulate:
+// product, sum, reduce — three full traversals with two intermediates.
+func BenchmarkMulThenAddThenReduce(b *testing.B) {
+	m, r := benchSetup(b, 62)
+	acc := randomMTBDD(m, r, benchVars, 10)
+	w := randomMTBDD(m, r, benchVars, 10)
+	f := randomMTBDD(m, r, benchVars, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.KReduce(m.Add(acc, m.Mul(w, f)), 2)
+	}
+}
+
+// BenchmarkFusedMulAddK is the same accumulate as one ternary DFS.
+func BenchmarkFusedMulAddK(b *testing.B) {
+	m, r := benchSetup(b, 62)
+	acc := randomMTBDD(m, r, benchVars, 10)
+	w := randomMTBDD(m, r, benchVars, 10)
+	f := randomMTBDD(m, r, benchVars, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.MulAddK(acc, w, f, 2)
+	}
+}
+
+// benchGuards builds the selection-guard slices the n-ary kernels see.
+func benchGuards(m *Manager, r *rand.Rand, count int) []*Node {
+	fs := make([]*Node, count)
+	for i := range fs {
+		fs[i] = randomGuard(m, r, benchVars, 6)
+	}
+	return fs
+}
+
+// BenchmarkSumPairwiseReduce is the legacy left-fold accumulation with a
+// trailing reduce. Compare with BenchmarkAddNK.
+func BenchmarkSumPairwiseReduce(b *testing.B) {
+	m, r := benchSetup(b, 63)
+	fs := benchGuards(m, r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.KReduce(m.Sum(fs), 2)
+	}
+}
+
+// BenchmarkAddNK is the balanced fused tree over the same guards.
+func BenchmarkAddNK(b *testing.B) {
+	m, r := benchSetup(b, 63)
+	fs := benchGuards(m, r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearCaches()
+		m.AddNK(fs, 2)
+	}
+}
+
+// mapNodeCount is the retired map-based walker, kept here as the
+// baseline the id-keyed bitset replaced.
+func mapNodeCount(n *Node) int {
+	seen := make(map[*Node]struct{})
+	var walk func(*Node) int
+	walk = func(n *Node) int {
+		if _, ok := seen[n]; ok {
+			return 0
+		}
+		seen[n] = struct{}{}
+		if n.IsTerminal() {
+			return 1
+		}
+		return 1 + walk(n.Lo) + walk(n.Hi)
+	}
+	return walk(n)
+}
+
+// BenchmarkNodeCountMap walks with the old map visited-set.
+func BenchmarkNodeCountMap(b *testing.B) {
+	m, r := benchSetup(b, 64)
+	f := randomMTBDD(m, r, benchVars, 13)
+	want := m.NodeCount(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := mapNodeCount(f); got != want {
+			b.Fatalf("map walker counted %d, bitset %d", got, want)
+		}
+	}
+}
+
+// BenchmarkNodeCountBitset walks with the id-keyed bitset (the shipped
+// implementation).
+func BenchmarkNodeCountBitset(b *testing.B) {
+	m, r := benchSetup(b, 64)
+	f := randomMTBDD(m, r, benchVars, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NodeCount(f)
+	}
+}

@@ -12,15 +12,11 @@ package mtbdd
 // canonicity that pointer-equality checks (and the paper's link-local
 // equivalence, §5.3) rely on.
 func (m *Manager) GC(roots []*Node) {
-	marked := make(map[*Node]struct{}, len(roots)*4)
+	marked := m.newBitset()
 	var mark func(n *Node)
 	mark = func(n *Node) {
 		for n != nil {
-			if _, ok := marked[n]; ok {
-				return
-			}
-			marked[n] = struct{}{}
-			if n.IsTerminal() {
+			if marked.visit(n.id) || n.IsTerminal() {
 				return
 			}
 			mark(n.Lo)
@@ -34,11 +30,14 @@ func (m *Manager) GC(roots []*Node) {
 	}
 
 	fresh := newUniqueTable()
+	// maxProbe is a lifetime high-water mark, not a property of the
+	// current table generation.
+	fresh.maxProbe = m.unique.maxProbe
 	for _, e := range m.unique.entries {
 		if e.node == nil {
 			continue
 		}
-		if _, ok := marked[e.node]; ok {
+		if marked.has(e.node.id) {
 			fresh.insert(e.level, e.lo, e.hi, e.node)
 		}
 	}
@@ -46,12 +45,43 @@ func (m *Manager) GC(roots []*Node) {
 	// Terminals are cheap; keep only the reachable ones anyway so that
 	// sweep counts reflect reality.
 	for bits, n := range m.terms {
-		if _, ok := marked[n]; !ok {
+		if !marked.has(n.id) {
 			delete(m.terms, bits)
 		}
 	}
+	m.releaseSlabs(marked)
 	m.ClearCaches()
 	m.gcRuns++
+}
+
+// releaseSlabs nils out node slabs with no marked ids so the runtime can
+// reclaim them. Slab s holds ids (s*slabSize, (s+1)*slabSize], i.e. mark
+// bits [s*slabSize, (s+1)*slabSize) — whole bitset words, since slabSize
+// is a multiple of 64. The open (last) slab is kept: alloc keeps filling
+// it. Transient nodes are temporally clustered, so build-then-reduce
+// bursts typically die as contiguous whole slabs.
+func (m *Manager) releaseSlabs(marked bitset) {
+	const wordsPerSlab = slabSize / 64
+	for s := 0; s < len(m.slabs)-1; s++ {
+		if m.slabs[s] == nil {
+			continue
+		}
+		lo := s * wordsPerSlab
+		hi := lo + wordsPerSlab
+		if hi > len(marked) {
+			hi = len(marked)
+		}
+		dead := true
+		for w := lo; w < hi; w++ {
+			if marked[w] != 0 {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			m.slabs[s] = nil
+		}
+	}
 }
 
 // GCRuns reports how many garbage collections the manager has performed.

@@ -1,0 +1,269 @@
+package mtbdd
+
+// Fused MTBDD kernels: k-budgeted operators that construct the KREDUCEd
+// result directly, without materializing the unreduced intermediate.
+//
+// The dominant pattern in symbolic traffic execution is a pairwise
+// Add/Mul immediately wrapped in KReduce: the full intermediate MTBDD is
+// built only to have most of it discarded by the reduction. The paper's
+// Lemmas 1-2 (§5.2) justify pruning during construction instead: the
+// k-failure-equivalence class of op(F, G) is determined by the values of
+// F and G on assignments with at most k zeros, so the recursion can
+// thread the remaining zero-budget and collapse both cofactors to their
+// all-alive value the moment it is spent.
+//
+// The recursion mirrors kreduce exactly, with γ_k(F, G) ≡ β_k(F op G):
+//
+//	γ_0(F, G) = F(1,...,1) op G(1,...,1)
+//	γ_k(c, d) = c op d                                       (terminals)
+//	γ_k(F, G) = γ_k(F|x=1, G|x=1)                            if γ_{k-1}(F|x=1, G|x=1) == γ_{k-1}(F|x=0, G|x=0)
+//	γ_k(F, G) = x·γ_k(F|x=1, G|x=1) + x̄·γ_{k-1}(F|x=0, G|x=0)   otherwise
+//
+// where x is the smaller root variable of F and G. Because restriction
+// commutes with pointwise operations (H|x=v = F|x=v op G|x=v for
+// H = F op G), this recursion and KReduce(apply(op, F, G), k) compute
+// structurally identical results: both produce the canonical β_k
+// representative, so hash-consing yields the very same *Node. That exact
+// node equality is what lets the engine swap Reduce(Add(...)) call sites
+// for AddK without perturbing report output by a single byte; the
+// kernels difftest oracle and FuzzKernels pin it.
+//
+// A negative budget means "reduction disabled" (the ablation mode of
+// FailVars) and falls back to the plain operator.
+
+// AddK returns KReduce(f+g, k) without building the unreduced sum.
+func (m *Manager) AddK(f, g *Node, k int) *Node { return m.fusedOp(opAdd, f, g, k) }
+
+// SubK returns KReduce(f-g, k).
+func (m *Manager) SubK(f, g *Node, k int) *Node { return m.fusedOp(opSub, f, g, k) }
+
+// MulK returns KReduce(f*g, k) without building the unreduced product.
+func (m *Manager) MulK(f, g *Node, k int) *Node { return m.fusedOp(opMul, f, g, k) }
+
+// DivK returns KReduce(f/g, k), with Div's zero-denominator convention.
+func (m *Manager) DivK(f, g *Node, k int) *Node { return m.fusedOp(opDiv, f, g, k) }
+
+// MinK returns KReduce(min(f,g), k).
+func (m *Manager) MinK(f, g *Node, k int) *Node { return m.fusedOp(opMin, f, g, k) }
+
+// MaxK returns KReduce(max(f,g), k).
+func (m *Manager) MaxK(f, g *Node, k int) *Node { return m.fusedOp(opMax, f, g, k) }
+
+// AndK returns KReduce(f∧g, k) for {0,1} guards.
+func (m *Manager) AndK(f, g *Node, k int) *Node { return m.fusedOp(opAnd, f, g, k) }
+
+// OrK returns KReduce(f∨g, k) for {0,1} guards.
+func (m *Manager) OrK(f, g *Node, k int) *Node { return m.fusedOp(opOr, f, g, k) }
+
+// XorK returns KReduce(f⊕g, k) for {0,1} guards.
+func (m *Manager) XorK(f, g *Node, k int) *Node { return m.fusedOp(opXor, f, g, k) }
+
+func (m *Manager) fusedOp(op opcode, f, g *Node, k int) *Node {
+	if k < 0 {
+		return m.apply(op, f, g)
+	}
+	return m.applyK(op, f, g, int32(k))
+}
+
+// applyK is Bryant's APPLY fused with the KREDUCE dynamic program: the
+// remaining zero-budget threads through the recursion and both operands
+// collapse to their all-alive values once it is spent.
+func (m *Manager) applyK(op opcode, f, g *Node, k int32) *Node {
+	if r := m.shortcut(op, f, g); r != nil {
+		return m.kreduce(r, k)
+	}
+	if f.IsTerminal() && g.IsTerminal() {
+		return m.Const(op.eval(f.Value, g.Value))
+	}
+	if k == 0 {
+		// Budget spent: the whole subproblem — which plain apply would
+		// expand into an MTBDD over every variable below — collapses to
+		// one terminal. This is where the fusion saves its work.
+		m.fusionCuts++
+		return m.Const(op.eval(m.EvalAllAlive(f), m.EvalAllAlive(g)))
+	}
+	a, b := f, g
+	if op.commutes() && a.id > b.id {
+		a, b = b, a
+	}
+	if r, ok := m.fusedTbl.get(op, a.id, b.id, 0, k); ok {
+		m.fusedHits++
+		return r
+	}
+	m.fusedMisses++
+	m.checkInterrupt()
+
+	level := f.Level
+	if g.Level < level {
+		level = g.Level
+	}
+	fLo, fHi := f, f
+	if f.Level == level {
+		fLo, fHi = f.Lo, f.Hi
+	}
+	gLo, gHi := g, g
+	if g.Level == level {
+		gLo, gHi = g.Lo, g.Hi
+	}
+	hiK := m.applyK(op, fHi, gHi, k)
+	loK1 := m.applyK(op, fLo, gLo, k-1)
+	var r *Node
+	if m.applyK(op, fHi, gHi, k-1) == loK1 {
+		// The cofactors are (k-1)-failure equivalent: taking the Lo
+		// branch has already spent one failure, so they merge (the novel
+		// KREDUCE collapse, Definition 5.2 case 3).
+		r = hiK
+	} else {
+		r = m.mk(level, loK1, hiK)
+	}
+	m.fusedTbl.put(op, a.id, b.id, 0, k, r)
+	return r
+}
+
+// MulAdd returns acc + w*f as a single-DFS ternary operator, without the
+// intermediate product MTBDD. It is the unfused (no budget) companion of
+// MulAddK for callers outside the k-reduced pipeline.
+func (m *Manager) MulAdd(acc, w, f *Node) *Node {
+	if w == m.zero || f == m.zero {
+		return acc
+	}
+	if w == m.one {
+		return m.Add(acc, f)
+	}
+	if f == m.one {
+		return m.Add(acc, w)
+	}
+	if acc == m.zero {
+		return m.Mul(w, f)
+	}
+	return m.Add(acc, m.Mul(w, f))
+}
+
+// MulAddK returns KReduce(acc + w*f, k) as one fused ternary DFS: the
+// weighted-accumulate at the heart of ECMP splitting, SR path weighting,
+// and per-link load aggregation, without ever materializing either the
+// product w*f or the unreduced sum.
+func (m *Manager) MulAddK(acc, w, f *Node, k int) *Node {
+	if k < 0 {
+		return m.MulAdd(acc, w, f)
+	}
+	return m.mulAddK(acc, w, f, int32(k))
+}
+
+func (m *Manager) mulAddK(acc, w, f *Node, k int32) *Node {
+	// Algebraic shortcuts first, mirroring what the composed
+	// Add/Mul/Reduce pipeline would short-circuit.
+	if w == m.zero || f == m.zero {
+		return m.kreduce(acc, k)
+	}
+	if w == m.one {
+		return m.applyK(opAdd, acc, f, k)
+	}
+	if f == m.one {
+		return m.applyK(opAdd, acc, w, k)
+	}
+	if acc == m.zero {
+		return m.applyK(opMul, w, f, k)
+	}
+	if acc.IsTerminal() && w.IsTerminal() && f.IsTerminal() {
+		return m.Const(acc.Value + w.Value*f.Value)
+	}
+	if k == 0 {
+		m.fusionCuts++
+		return m.Const(m.EvalAllAlive(acc) + m.EvalAllAlive(w)*m.EvalAllAlive(f))
+	}
+	// The product operands commute; canonicalize their cache order.
+	x, y := w, f
+	if x.id > y.id {
+		x, y = y, x
+	}
+	if r, ok := m.fusedTbl.get(opMulAdd, acc.id, x.id, y.id, k); ok {
+		m.fusedHits++
+		return r
+	}
+	m.fusedMisses++
+	m.checkInterrupt()
+
+	level := acc.Level
+	if w.Level < level {
+		level = w.Level
+	}
+	if f.Level < level {
+		level = f.Level
+	}
+	aLo, aHi := acc, acc
+	if acc.Level == level {
+		aLo, aHi = acc.Lo, acc.Hi
+	}
+	wLo, wHi := w, w
+	if w.Level == level {
+		wLo, wHi = w.Lo, w.Hi
+	}
+	fLo, fHi := f, f
+	if f.Level == level {
+		fLo, fHi = f.Lo, f.Hi
+	}
+	hiK := m.mulAddK(aHi, wHi, fHi, k)
+	loK1 := m.mulAddK(aLo, wLo, fLo, k-1)
+	var r *Node
+	if m.mulAddK(aHi, wHi, fHi, k-1) == loK1 {
+		r = hiK
+	} else {
+		r = m.mk(level, loK1, hiK)
+	}
+	m.fusedTbl.put(opMulAdd, acc.id, x.id, y.id, k, r)
+	return r
+}
+
+// AddN returns the sum of the given MTBDDs combined as a balanced binary
+// tree: log-depth instead of a linear chain, so intermediate operands
+// stay small and the apply cache sees far better reuse. Because float
+// addition is only associative when values are exact, the engine feeds
+// AddN only sums of selection guards (small-integer terminals); for
+// fractional accumulations the in-order pairwise kernels keep the exact
+// legacy rounding.
+func (m *Manager) AddN(fs []*Node) *Node {
+	switch len(fs) {
+	case 0:
+		return m.zero
+	case 1:
+		return fs[0]
+	}
+	mid := len(fs) / 2
+	return m.Add(m.AddN(fs[:mid]), m.AddN(fs[mid:]))
+}
+
+// AddNK returns KReduce(Σfs, k) as a balanced tree of fused k-budgeted
+// additions: every intermediate is already reduced, so the peak node
+// count tracks the reduced result instead of the raw chain. The same
+// exact-value caveat as AddN applies.
+func (m *Manager) AddNK(fs []*Node, k int) *Node {
+	if k < 0 {
+		return m.AddN(fs)
+	}
+	return m.addNK(fs, int32(k))
+}
+
+func (m *Manager) addNK(fs []*Node, k int32) *Node {
+	switch len(fs) {
+	case 0:
+		return m.zero
+	case 1:
+		return m.kreduce(fs[0], k)
+	}
+	mid := len(fs) / 2
+	return m.applyK(opAdd, m.addNK(fs[:mid], k), m.addNK(fs[mid:], k), k)
+}
+
+// OrN returns the disjunction of the given guards as a balanced tree.
+// Or is idempotent and exact on {0,1}, so any association is safe.
+func (m *Manager) OrN(fs []*Node) *Node {
+	switch len(fs) {
+	case 0:
+		return m.zero
+	case 1:
+		return fs[0]
+	}
+	mid := len(fs) / 2
+	return m.Or(m.OrN(fs[:mid]), m.OrN(fs[mid:]))
+}

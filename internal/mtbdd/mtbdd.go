@@ -20,7 +20,6 @@ package mtbdd
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Node is a hash-consed MTBDD node. Nodes must only be created through a
@@ -63,6 +62,7 @@ type Manager struct {
 	applyTbl   *applyCache
 	negTbl     *unaryCache
 	kreduceTbl *kreduceCache
+	fusedTbl   *fusedCache
 	rangeTbl   *rangeCache
 	// importTbl memoizes cross-manager translations (see Import); keyed
 	// by foreign node pointer, which is unique across source managers.
@@ -70,6 +70,16 @@ type Manager struct {
 
 	zero *Node
 	one  *Node
+
+	// Node storage. Nodes are carved out of fixed-size slabs instead of
+	// being allocated one heap object each: ids are assigned sequentially,
+	// so node id i lives in slab (i-1)>>slabBits, and the runtime GC scans
+	// a handful of large backing arrays instead of millions of individual
+	// objects. Pointers into a slab are stable (slabs are never moved or
+	// resized), which hash-consing canonicity requires. Manager.GC releases
+	// slabs whose nodes are all dead; the open slab keeps filling.
+	slabs    [][]Node
+	slabUsed int
 
 	// Resource governance (see interrupt.go): an optional interrupt
 	// hook polled every interruptStride operations, and an optional
@@ -94,6 +104,9 @@ type Manager struct {
 	rangeMisses   uint64
 	importHits    uint64
 	importMisses  uint64
+	fusedHits     uint64
+	fusedMisses   uint64
+	fusionCuts    uint64
 	kreduceCalls  uint64
 	gcRuns        uint64
 }
@@ -108,6 +121,7 @@ func New() *Manager {
 		applyTbl:   newApplyCache(),
 		negTbl:     newUnaryCache(),
 		kreduceTbl: newKReduceCache(),
+		fusedTbl:   newFusedCache(),
 		rangeTbl:   newRangeCache(),
 		importTbl:  make(map[*Node]*Node),
 	}
@@ -147,11 +161,60 @@ func (m *Manager) Const(v float64) *Node {
 	if n, ok := m.terms[bits]; ok {
 		return n
 	}
-	n := &Node{Level: terminalLevel, Value: v, id: m.nextID}
+	n := m.alloc()
+	*n = Node{Level: terminalLevel, Value: v, id: m.nextID}
 	m.nextID++
 	m.created++
 	m.terms[bits] = n
 	return n
+}
+
+const (
+	// slabBits sizes the node slabs at 8192 nodes (~448 KiB each). A
+	// power-of-two multiple of 64 keeps every slab's id range aligned to
+	// whole bitset words, so GC's per-slab liveness scan is word-exact.
+	slabBits = 13
+	slabSize = 1 << slabBits
+)
+
+// alloc returns storage for the node that will receive id m.nextID.
+// Ids are dense and increasing, so the slot is always the next cell of
+// the open (last) slab.
+func (m *Manager) alloc() *Node {
+	if len(m.slabs) == 0 || m.slabUsed == slabSize {
+		m.slabs = append(m.slabs, make([]Node, slabSize))
+		m.slabUsed = 0
+	}
+	n := &m.slabs[len(m.slabs)-1][m.slabUsed]
+	m.slabUsed++
+	return n
+}
+
+// bitset is an id-keyed visited set for DAG walks: node id i maps to bit
+// i-1. Sized once off nextID, it replaces map[*Node]struct{} on the hot
+// analysis paths — no hashing, no per-entry allocation, and the runtime
+// GC never scans it for pointers.
+type bitset []uint64
+
+func (m *Manager) newBitset() bitset {
+	return make(bitset, (m.nextID+63)/64)
+}
+
+// visit marks id and reports whether it was already marked.
+func (b bitset) visit(id uint64) bool {
+	i := id - 1
+	w, mask := i>>6, uint64(1)<<(i&63)
+	if b[w]&mask != 0 {
+		return true
+	}
+	b[w] |= mask
+	return false
+}
+
+// has reports whether id is marked.
+func (b bitset) has(id uint64) bool {
+	i := id - 1
+	return b[i>>6]&(1<<(i&63)) != 0
 }
 
 // Zero returns the 0 terminal.
@@ -189,7 +252,8 @@ func (m *Manager) mk(level int32, lo, hi *Node) *Node {
 	}
 	m.checkInterrupt()
 	m.checkBudget()
-	n := &Node{Level: level, Lo: lo, Hi: hi, id: m.nextID}
+	n := m.alloc()
+	*n = Node{Level: level, Lo: lo, Hi: hi, id: m.nextID}
 	m.nextID++
 	m.created++
 	m.unique.insert(level, lo.id, hi.id, n)
@@ -225,68 +289,57 @@ func (m *Manager) EvalAllAlive(f *Node) float64 {
 // NodeCount returns the number of distinct nodes (including terminals)
 // reachable from f.
 func (m *Manager) NodeCount(f *Node) int {
-	seen := make(map[*Node]struct{})
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if _, ok := seen[n]; ok {
-			return
-		}
-		seen[n] = struct{}{}
-		if !n.IsTerminal() {
-			walk(n.Lo)
-			walk(n.Hi)
-		}
-	}
-	walk(f)
-	return len(seen)
+	seen := m.newBitset()
+	return countNodes(f, seen)
 }
 
 // NodeCountMulti returns the number of distinct nodes reachable from any of
 // the given roots (shared nodes counted once).
 func (m *Manager) NodeCountMulti(roots []*Node) int {
-	seen := make(map[*Node]struct{})
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if _, ok := seen[n]; ok {
-			return
-		}
-		seen[n] = struct{}{}
-		if !n.IsTerminal() {
-			walk(n.Lo)
-			walk(n.Hi)
-		}
-	}
+	seen := m.newBitset()
+	total := 0
 	for _, r := range roots {
 		if r != nil {
-			walk(r)
+			total += countNodes(r, seen)
 		}
 	}
-	return len(seen)
+	return total
+}
+
+// countNodes counts nodes reachable from n that are not yet in seen,
+// marking them as it goes (so a shared seen set counts shared nodes once).
+func countNodes(n *Node, seen bitset) int {
+	if seen.visit(n.id) {
+		return 0
+	}
+	count := 1
+	if !n.IsTerminal() {
+		count += countNodes(n.Lo, seen)
+		count += countNodes(n.Hi, seen)
+	}
+	return count
 }
 
 // Support returns the sorted set of variables tested anywhere in f.
 func (m *Manager) Support(f *Node) []int {
-	seen := make(map[*Node]struct{})
-	vars := make(map[int]struct{})
+	seen := m.newBitset()
+	inSupport := make([]bool, len(m.names))
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		if _, ok := seen[n]; ok {
+		if n.IsTerminal() || seen.visit(n.id) {
 			return
 		}
-		seen[n] = struct{}{}
-		if n.IsTerminal() {
-			return
-		}
-		vars[int(n.Level)] = struct{}{}
+		inSupport[n.Level] = true
 		walk(n.Lo)
 		walk(n.Hi)
 	}
 	walk(f)
-	out := make([]int, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
+	var out []int
+	for v, in := range inSupport {
+		if in {
+			out = append(out, v)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -311,12 +364,25 @@ type Stats struct {
 	ApplyHits   uint64
 	ApplyMisses uint64
 
-	// Per-cache hit/miss tallies for all five operation caches.
+	// Per-cache hit/miss tallies for all six operation caches. Fused is
+	// the shared computed table of the k-budgeted kernels (kernels.go).
 	Apply   CacheStats
 	Neg     CacheStats
 	KReduce CacheStats
 	Range   CacheStats
 	Import  CacheStats
+	Fused   CacheStats
+
+	// FusionCuts counts subproblems the fused kernels collapsed to a
+	// single terminal because the zero-budget was spent — each is an
+	// entire sub-MTBDD the build-then-reduce pipeline would have
+	// materialized and then discarded.
+	FusionCuts uint64
+
+	// MaxProbe is the longest linear-probe run the unique table has ever
+	// seen (lifetime high-water mark, surviving GC rebuilds): a direct
+	// measure of hash clustering.
+	MaxProbe int
 
 	KReduceCalls uint64 // top-level KReduce invocations
 	GCRuns       uint64 // completed garbage collections
@@ -335,6 +401,9 @@ func (m *Manager) Stats() Stats {
 		KReduce:      CacheStats{Hits: m.kreduceHits, Misses: m.kreduceMisses},
 		Range:        CacheStats{Hits: m.rangeHits, Misses: m.rangeMisses},
 		Import:       CacheStats{Hits: m.importHits, Misses: m.importMisses},
+		Fused:        CacheStats{Hits: m.fusedHits, Misses: m.fusedMisses},
+		FusionCuts:   m.fusionCuts,
+		MaxProbe:     m.unique.maxProbe,
 		KReduceCalls: m.kreduceCalls,
 		GCRuns:       m.gcRuns,
 	}
@@ -348,6 +417,7 @@ func (m *Manager) ClearCaches() {
 	m.applyTbl = newApplyCache()
 	m.negTbl = newUnaryCache()
 	m.kreduceTbl = newKReduceCache()
+	m.fusedTbl = newFusedCache()
 	m.rangeTbl = newRangeCache()
 	m.importTbl = make(map[*Node]*Node)
 }

@@ -17,6 +17,9 @@ const (
 	opAnd
 	opOr
 	opXor
+	// opMulAdd tags the fused ternary multiply-accumulate in the fused
+	// computed table (kernels.go); it is never passed to eval.
+	opMulAdd
 )
 
 func (op opcode) eval(a, b float64) float64 {

@@ -2,6 +2,7 @@ package mtbdd
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 )
 
@@ -151,6 +152,69 @@ func TestClearCachesResetsImportTbl(t *testing.T) {
 	}
 	if len(dst.importTbl) == 0 {
 		t.Fatal("post-clear Import must re-populate the memo")
+	}
+}
+
+// The fused ternary cache follows the same counter contract as the five
+// binary caches: hits and misses accounted, counters cumulative across
+// ClearCaches, and the cache *contents* recreated fresh so post-clear
+// repeats miss again (ISSUE 5 satellite).
+func TestFusedCacheCounters(t *testing.T) {
+	m, f := buildChain(t, 8)
+	g := m.Var(3)
+
+	// First fused call populates (misses), repeat hits.
+	m.AddK(f, g, 2)
+	m.AddK(f, g, 2)
+	m.MulAddK(f, g, m.Var(5), 2)
+	m.MulAddK(f, g, m.Var(5), 2)
+
+	st := m.Stats()
+	if st.Fused.Misses == 0 || st.Fused.Hits == 0 {
+		t.Fatalf("fused cache = %+v, want both hits and misses", st.Fused)
+	}
+	if st.FusionCuts == 0 {
+		t.Fatalf("FusionCuts = 0, want budget-exhaustion cuts on a chain of 8 vars at k=2")
+	}
+
+	before := m.Stats()
+	m.ClearCaches()
+	after := m.Stats()
+	if before.Fused != after.Fused || before.FusionCuts != after.FusionCuts {
+		t.Fatalf("ClearCaches changed cumulative fused counters:\nbefore %+v/%d\nafter  %+v/%d",
+			before.Fused, before.FusionCuts, after.Fused, after.FusionCuts)
+	}
+	if m.fusedTbl == nil {
+		t.Fatal("ClearCaches must re-create the fused cache, not nil it")
+	}
+
+	// Post-clear the fresh cache must miss again: counters strictly grow.
+	m.AddK(f, g, 2)
+	grown := m.Stats()
+	if grown.Fused.Misses <= after.Fused.Misses {
+		t.Fatalf("post-clear AddK should miss the fresh fused cache: %+v vs %+v",
+			grown.Fused, after.Fused)
+	}
+}
+
+// MaxProbe is the unique table's lifetime high-water probe length: it
+// must be populated after real work and survive both ClearCaches and a
+// GC's table rebuild (the rebuilt table carries the watermark forward).
+func TestMaxProbeStat(t *testing.T) {
+	m, f := buildChain(t, 10)
+	g := randomMTBDD(m, rand.New(rand.NewSource(21)), 10, 6)
+	m.Add(f, g)
+	st := m.Stats()
+	if st.MaxProbe < 1 {
+		t.Fatalf("MaxProbe = %d, want >= 1 after inserting a few hundred nodes", st.MaxProbe)
+	}
+	m.ClearCaches()
+	if got := m.Stats().MaxProbe; got != st.MaxProbe {
+		t.Fatalf("ClearCaches changed MaxProbe: %d -> %d", st.MaxProbe, got)
+	}
+	m.GC([]*Node{f})
+	if got := m.Stats().MaxProbe; got < st.MaxProbe {
+		t.Fatalf("GC rebuild lowered MaxProbe: %d -> %d (watermark must carry forward)", st.MaxProbe, got)
 	}
 }
 

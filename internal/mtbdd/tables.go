@@ -11,6 +11,7 @@ package mtbdd
 const (
 	applyCacheBits   = 20 // 1M entries
 	kreduceCacheBits = 19
+	fusedCacheBits   = 19
 	unaryCacheBits   = 17
 )
 
@@ -36,6 +37,10 @@ type uniqueTable struct {
 	entries []uniqueEntry
 	count   int
 	mask    uint64
+	// maxProbe is the longest linear-probe run ever observed on this
+	// table, a direct measurement of hash clustering. It is carried
+	// forward across GC rebuilds (the stat is a lifetime high-water mark).
+	maxProbe int
 }
 
 func newUniqueTable() *uniqueTable {
@@ -43,22 +48,31 @@ func newUniqueTable() *uniqueTable {
 	return &uniqueTable{entries: make([]uniqueEntry, initial), mask: initial - 1}
 }
 
+// hash mixes all three key components through independent odd multipliers
+// before the finalizer. The previous scheme (`lo<<1`) left lo nearly raw,
+// so sequentially-assigned lo ids formed arithmetic clusters in the table;
+// multiply-mixing each operand spreads them (the maxProbe stat is how we
+// confirmed the change).
 func (t *uniqueTable) hash(level int32, lo, hi uint64) uint64 {
-	return mix64(uint64(uint32(level))*0x9e3779b97f4a7c15 ^ lo<<1 ^ mix64(hi))
+	return mix64(lo*0x9e3779b97f4a7c15 ^ hi*0xc2b2ae3d27d4eb4f ^ uint64(uint32(level))*0x165667b19e3779f9)
 }
 
 // lookup returns the canonical node for (level, lo, hi) or nil.
 func (t *uniqueTable) lookup(level int32, lo, hi uint64) *Node {
 	i := t.hash(level, lo, hi) & t.mask
+	probes := 0
 	for {
 		e := &t.entries[i]
 		if e.node == nil {
+			t.noteProbes(probes)
 			return nil
 		}
 		if e.level == level && e.lo == lo && e.hi == hi {
+			t.noteProbes(probes)
 			return e.node
 		}
 		i = (i + 1) & t.mask
+		probes++
 	}
 }
 
@@ -68,11 +82,20 @@ func (t *uniqueTable) insert(level int32, lo, hi uint64, n *Node) {
 		t.grow()
 	}
 	i := t.hash(level, lo, hi) & t.mask
+	probes := 0
 	for t.entries[i].node != nil {
 		i = (i + 1) & t.mask
+		probes++
 	}
+	t.noteProbes(probes)
 	t.entries[i] = uniqueEntry{level, lo, hi, n}
 	t.count++
+}
+
+func (t *uniqueTable) noteProbes(p int) {
+	if p > t.maxProbe {
+		t.maxProbe = p
+	}
 }
 
 func (t *uniqueTable) grow() {
@@ -154,6 +177,48 @@ func (c *kreduceCache) get(f uint64, k int32) (*Node, bool) {
 
 func (c *kreduceCache) put(f uint64, k int32, res *Node) {
 	c.entries[mix64(f^uint64(k)<<48)&c.mask] = kreduceEntry{f, k, res}
+}
+
+// --- fused-kernel cache (lossy, direct-mapped) ---
+//
+// One computed table serves every budgeted kernel: binary k-budgeted
+// applies key (op, f, g, 0, k) and the ternary multiply-accumulate keys
+// (opMulAdd, acc, w, f, k). Operand ids start at 1, so a == 0 marks an
+// empty slot.
+
+type fusedEntry struct {
+	a, b, c uint64
+	k       int32
+	op      opcode
+	res     *Node
+}
+
+type fusedCache struct {
+	entries []fusedEntry
+	mask    uint64
+}
+
+func newFusedCache() *fusedCache {
+	size := 1 << fusedCacheBits
+	return &fusedCache{entries: make([]fusedEntry, size), mask: uint64(size - 1)}
+}
+
+func (t *fusedCache) slot(op opcode, a, b, c uint64, k int32) *fusedEntry {
+	h := mix64(a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f ^ c*0x27d4eb2f165667c5 ^
+		uint64(op)<<56 ^ uint64(uint32(k))<<40)
+	return &t.entries[h&t.mask]
+}
+
+func (t *fusedCache) get(op opcode, a, b, c uint64, k int32) (*Node, bool) {
+	e := t.slot(op, a, b, c, k)
+	if e.a == a && e.b == b && e.c == c && e.k == k && e.op == op && e.a != 0 {
+		return e.res, true
+	}
+	return nil, false
+}
+
+func (t *fusedCache) put(op opcode, a, b, c uint64, k int32, res *Node) {
+	*t.slot(op, a, b, c, k) = fusedEntry{a, b, c, k, op, res}
 }
 
 // --- unary caches (Not, Range; lossy, direct-mapped) ---

@@ -267,8 +267,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.SliceStable(snap.Managers, func(i, j int) bool {
 		return snap.Managers[i].Name < snap.Managers[j].Name
 	})
-	// Aggregate cache counters across managers; always emit all five
-	// cache keys so consumers can rely on the schema even when a cache
+	// Aggregate cache counters across managers; always emit every known
+	// cache key so consumers can rely on the schema even when a cache
 	// saw no traffic.
 	for _, k := range knownCaches {
 		snap.Caches[k] = CacheCounters{}
@@ -286,4 +286,4 @@ func (r *Registry) Snapshot() *Snapshot {
 
 // knownCaches are the MTBDD cache names every snapshot reports, even
 // at zero. Keep in sync with mtbdd.Stats (DESIGN.md §11).
-var knownCaches = []string{"apply", "kreduce", "neg", "range", "import"}
+var knownCaches = []string{"apply", "kreduce", "neg", "range", "import", "fused"}

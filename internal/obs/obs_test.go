@@ -97,7 +97,7 @@ func TestSpansAggregateByPath(t *testing.T) {
 	}
 }
 
-func TestSnapshotEmitsAllFiveCaches(t *testing.T) {
+func TestSnapshotEmitsAllKnownCaches(t *testing.T) {
 	r := New()
 	r.RecordManager(ManagerStats{
 		Name:   "primary",
@@ -108,7 +108,7 @@ func TestSnapshotEmitsAllFiveCaches(t *testing.T) {
 		Caches: map[string]CacheCounters{"apply": {Hits: 5, Misses: 1}, "kreduce": {Hits: 7}},
 	})
 	snap := r.Snapshot()
-	for _, name := range []string{"apply", "kreduce", "neg", "range", "import"} {
+	for _, name := range []string{"apply", "kreduce", "neg", "range", "import", "fused"} {
 		if _, ok := snap.Caches[name]; !ok {
 			t.Fatalf("snapshot missing cache %q: %+v", name, snap.Caches)
 		}
@@ -143,8 +143,8 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	if back.Counters["worker.0.flows_executed"] != 12 {
 		t.Fatalf("round-trip lost counter: %+v", back.Counters)
 	}
-	if len(back.Caches) != 5 {
-		t.Fatalf("round-trip caches = %d keys, want 5", len(back.Caches))
+	if len(back.Caches) != 6 {
+		t.Fatalf("round-trip caches = %d keys, want 6", len(back.Caches))
 	}
 	if back.Managers[0].Caches["neg"].Misses != 2 {
 		t.Fatalf("round-trip lost manager cache stats: %+v", back.Managers)

@@ -18,7 +18,7 @@ type CacheCounters struct {
 // ManagerStats is one MTBDD manager's end-of-life stats snapshot,
 // mirrored from mtbdd.Stats without importing it (obs is a leaf
 // package). Caches is keyed by cache name: apply, kreduce, neg, range,
-// import.
+// import, fused.
 type ManagerStats struct {
 	Name         string                   `json:"name"`
 	Created      int                      `json:"created"`
@@ -26,6 +26,8 @@ type ManagerStats struct {
 	PeakLive     int                      `json:"peak_live"`
 	GCRuns       uint64                   `json:"gc_runs"`
 	KReduceCalls uint64                   `json:"kreduce_calls"`
+	FusionCuts   uint64                   `json:"fusion_cuts"`
+	MaxProbe     int                      `json:"max_probe"`
 	Caches       map[string]CacheCounters `json:"caches"`
 }
 

@@ -390,7 +390,7 @@ func (b *BGP) advertise(igp *IGP, from map[netip.Prefix][]advTemplate, to BGPRIB
 					adv.IGPCost = 1 << 50
 				}
 			}
-			guard := fv.Reduce(m.And(tpl.groupSel, sessUp))
+			guard := fv.ReduceAnd(tpl.groupSel, sessUp)
 			if guard == m.Zero() {
 				continue
 			}
@@ -424,11 +424,11 @@ func selectionGuards(fv *FailVars, cands []*BGPCand) []*mtbdd.Node {
 		j := i
 		groupOr := m.Zero()
 		for j < len(cands) && cands[j].SameRank(cands[i]) {
-			out[j] = fv.Reduce(m.And(cands[j].Guard, m.Not(better)))
+			out[j] = fv.ReduceAnd(cands[j].Guard, m.Not(better))
 			groupOr = m.Or(groupOr, cands[j].Guard)
 			j++
 		}
-		better = fv.Reduce(m.Or(better, groupOr))
+		better = fv.ReduceOr(better, groupOr)
 		i = j
 	}
 	return out
@@ -447,7 +447,7 @@ func (b *BGP) normalize(rib BGPRIB) BGPRIB {
 		for _, c := range cands {
 			k := keyOf(c)
 			if prev, ok := merged[k]; ok {
-				prev.Guard = fv.Reduce(m.Or(prev.Guard, c.Guard))
+				prev.Guard = fv.ReduceOr(prev.Guard, c.Guard)
 			} else {
 				cc := *c
 				merged[k] = &cc
@@ -476,7 +476,7 @@ func (b *BGP) normalize(rib BGPRIB) BGPRIB {
 				}
 				j++
 			}
-			better = fv.Reduce(m.Or(better, groupOr))
+			better = fv.ReduceOr(better, groupOr)
 			i = j
 		}
 		if len(kept) > 0 {

@@ -139,12 +139,12 @@ func (g *IGP) computeDest(members []topo.RouterID, inAS map[topo.RouterID]bool, 
 				up := fv.EdgeUp(e)
 				for c, guard := range nbr {
 					total := c + e.Cost
-					add := fv.Reduce(m.And(up, guard))
+					add := fv.ReduceAnd(up, guard)
 					if add == m.Zero() {
 						continue
 					}
 					if prev, ok := acc[total]; ok {
-						acc[total] = fv.Reduce(m.Or(prev, add))
+						acc[total] = fv.ReduceOr(prev, add)
 					} else {
 						acc[total] = add
 					}
@@ -172,9 +172,11 @@ func (g *IGP) computeDest(members []topo.RouterID, inAS map[topo.RouterID]bool, 
 		}
 		acc := m.Zero()
 		for _, guard := range pe[r] {
-			acc = m.Or(acc, guard)
+			// Or is exact and commutative, so the map's iteration order
+			// cannot perturb the canonical result; fusing per step keeps
+			// every intermediate already reduced.
+			acc = fv.ReduceOr(acc, guard)
 		}
-		acc = fv.Reduce(acc)
 		if acc != m.Zero() {
 			g.reach[r][dest] = acc
 		}
@@ -199,7 +201,7 @@ func (g *IGP) computeDest(members []topo.RouterID, inAS map[topo.RouterID]bool, 
 			}
 			up := fv.EdgeUp(e)
 			for c, guard := range nbr {
-				gg := fv.Reduce(m.And(up, guard))
+				gg := fv.ReduceAnd(up, guard)
 				if gg == m.Zero() {
 					continue
 				}
@@ -232,7 +234,7 @@ func pruneDominated(fv *FailVars, cg costGuards) costGuards {
 		selectable := m.And(guard, m.Not(cheaper))
 		if fv.Feasible(selectable) {
 			out[c] = guard
-			cheaper = fv.Reduce(m.Or(cheaper, guard))
+			cheaper = fv.ReduceOr(cheaper, guard)
 		}
 	}
 	return out
@@ -266,7 +268,7 @@ func pruneCandidates(fv *FailVars, cands []IGPRoute) []IGPRoute {
 			}
 			j++
 		}
-		cheaper = fv.Reduce(m.Or(cheaper, levelOr))
+		cheaper = fv.ReduceOr(cheaper, levelOr)
 		i = j
 	}
 	return out

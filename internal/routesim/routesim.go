@@ -99,7 +99,7 @@ func run(fv *FailVars, cfgs config.Configs) (*Result, error) {
 						return nil, fmt.Errorf("routesim: %s: static next hop %s is not local", name, st.NextHop)
 					}
 					gs.Out = d
-					gs.Guard = fv.Reduce(fv.M.And(gs.Guard, fv.EdgeUp(e)))
+					gs.Guard = fv.ReduceAnd(gs.Guard, fv.EdgeUp(e))
 				} else if owner, ok := net.RouterByLoopback(st.NextHop); ok {
 					gs.Indirect = true
 					gs.ViaRouter = owner.ID
