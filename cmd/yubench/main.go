@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|overhead|kernels|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|scaling|overhead|kernels|all
 //	        [-scale quick|full] [-baseline-budget 30s]
-//	        [-workers 1,2,4,8] [-rounds 3] [-json TAG]
+//	        [-workers 1,2,4,8] [-rounds 3] [-json TAG] [-require-speedup]
 //
 // Quick scale finishes in minutes; full scale uses the paper's Table 3
 // router/link counts and can run for hours single-threaded. Baseline
@@ -14,10 +14,14 @@
 // the paper reports "> 3600" cells.
 //
 // The workers experiment sweeps the parallel pipeline's worker count on
-// the medium WAN case; the kernels experiment compares the fused MTBDD
-// kernels against the composed build-then-reduce pipeline on N0; -json
-// TAG additionally writes the measurements to BENCH_TAG.json for machine
-// consumption.
+// the medium WAN case; the scaling experiment sweeps workers × k with a
+// per-phase breakdown (route simulation / execution / checking), records
+// GOMAXPROCS in every row, warm-starts the scheduler's cost model from
+// the 1-worker round, and with -require-speedup gates CI on the 4-worker
+// exec+check time beating 1 worker by >10% (skipped below 4 cores); the
+// kernels experiment compares the fused MTBDD kernels against the
+// composed build-then-reduce pipeline on N0; -json TAG additionally
+// writes the measurements to BENCH_TAG.json for machine consumption.
 package main
 
 import (
@@ -35,12 +39,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, overhead, kernels, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, scaling, overhead, kernels, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
 	rounds := flag.Int("rounds", 3, "best-of rounds for the overhead and kernels experiments")
 	jsonTag := flag.String("json", "", "write measurements to BENCH_<TAG>.json")
+	requireSpeedup := flag.Bool("require-speedup", false,
+		"after the scaling experiment, fail unless 4 workers beat 1 worker by >10% on exec+check (skipped when GOMAXPROCS < 4)")
 	flag.Parse()
 
 	workersList, err := parseWorkers(*workersFlag)
@@ -63,6 +69,14 @@ func main() {
 	runners := map[string]func() error{
 		"workers": func() error {
 			rs, err := bench.WorkersSweep(os.Stdout, scale, workersList)
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
+		"scaling": func() error {
+			rs, err := bench.ScalingSweep(os.Stdout, scale, workersList)
 			if err != nil {
 				return err
 			}
@@ -103,7 +117,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "overhead", "kernels"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "scaling", "overhead", "kernels"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -129,6 +143,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d records)\n", path, len(records))
+	}
+
+	if *requireSpeedup {
+		if err := bench.CheckScalingSpeedup(os.Stdout, records); err != nil {
+			fatal(err)
+		}
 	}
 }
 

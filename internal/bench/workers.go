@@ -15,13 +15,25 @@ import (
 // BenchRecord is one machine-readable measurement emitted into
 // BENCH_<tag>.json so the performance trajectory across PRs is trackable.
 type BenchRecord struct {
-	Experiment string  `json:"experiment"`
-	Case       string  `json:"case"`
-	K          int     `json:"k"`
-	Mode       string  `json:"mode"`
-	Workers    int     `json:"workers"`
+	Experiment string `json:"experiment"`
+	Case       string `json:"case"`
+	K          int    `json:"k"`
+	Mode       string `json:"mode"`
+	Workers    int    `json:"workers"`
+	// GOMAXPROCS is the scheduler's OS-thread parallelism during the run —
+	// the hardware ceiling a workers>1 row is bounded by. A sweep recorded
+	// with GOMAXPROCS=1 measures scheduling overhead, not speedup.
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
 	WallMS     float64 `json:"wall_ms"`
 	RouteSimMS float64 `json:"route_sim_ms"`
+	// ExecMS and CheckMS break ExecCheckMS into the symbolic-execution
+	// phase (the work-stealing pool) and the link-check phase (the cursor
+	// pool) — the scaling experiment's per-phase evidence.
+	ExecMS  float64 `json:"exec_ms,omitempty"`
+	CheckMS float64 `json:"check_ms,omitempty"`
+	// Steals counts chunks executed by a worker other than the one they
+	// were dealt to (scaling experiment only).
+	Steals int `json:"steals,omitempty"`
 	// PeakUniqueNodes is the primary manager's peak unique-table size.
 	// Shard managers are private and excluded: with workers>1 the
 	// execution intermediates live in shards, so this measures what the

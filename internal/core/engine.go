@@ -88,6 +88,12 @@ type Options struct {
 	// counters, and per-manager MTBDD stats (DESIGN.md §11). nil disables
 	// all recording at zero cost.
 	Obs *obs.Registry
+	// CostHints warm-starts the parallel scheduler's cost model: measured
+	// per-class execution costs from a previous run (Verifier.CostHints),
+	// keyed by the stable class key. Missing or non-positive entries fall
+	// back to a topology heuristic. Purely a scheduling hint — verdicts
+	// and reports never depend on it.
+	CostHints map[string]float64
 }
 
 // Engine executes flows symbolically against one route-simulation result.

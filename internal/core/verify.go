@@ -159,40 +159,31 @@ type Verifier struct {
 	// nil when no obs registry is attached, keeping the clock off the
 	// uninstrumented path.
 	kreduceT *obs.Timer
+	// classes are the global-equivalence classes in execution order
+	// (v.stfs is parallel to it); classOf maps each input flow to its
+	// class, fanning the shared verdict/STF back out to the members.
+	classes []flowClass
+	classOf []int
+	// measured[i] is the created-node count of class i's execution — the
+	// cost model's training signal, exported by CostHints.
+	measured []float64
+	// sched summarizes the execution phase's scheduling (see SchedStats).
+	sched SchedStats
+}
+
+// FlowSTFOf returns the STF of input flow i: the executed representative
+// of its equivalence class (§6 fan-out). All member flows of a class
+// share one *FlowSTF. Returns nil if the class was never executed (a
+// governed run cut short).
+func (v *Verifier) FlowSTFOf(i int) *FlowSTF {
+	if i < 0 || i >= len(v.classOf) || v.classOf[i] >= len(v.stfs) {
+		return nil
+	}
+	return v.stfs[v.classOf[i]]
 }
 
 // Err returns the fatal error recorded during flow execution, if any.
 func (v *Verifier) Err() error { return v.err }
-
-// mergeFlows applies global flow equivalence (§6): flows entering at the
-// same router with the same destination class and DSCP forward identically
-// in every scenario, so one representative with the summed volume is
-// executed per group. The merged flows are returned in first-seen order —
-// the deterministic execution order shared by the sequential and parallel
-// pipelines. When the optimization is disabled, the input is returned
-// unchanged.
-func mergeFlows(e *Engine, flows []topo.Flow) []topo.Flow {
-	if e.opts.DisableGlobalEquiv {
-		return flows
-	}
-	type gkey struct {
-		ingress topo.RouterID
-		class   int
-		dscp    uint8
-	}
-	groups := make(map[gkey]int)
-	merged := make([]topo.Flow, 0, len(flows))
-	for _, f := range flows {
-		k := gkey{f.Ingress, e.classifier.classOf(f.Dst), f.DSCP}
-		if i, ok := groups[k]; ok {
-			merged[i].Gbps += f.Gbps
-		} else {
-			groups[k] = len(merged)
-			merged = append(merged, f)
-		}
-	}
-	return merged
-}
 
 // NewVerifier executes all flows symbolically (applying global flow
 // equivalence unless disabled) and returns a Verifier ready to check
@@ -202,13 +193,19 @@ func mergeFlows(e *Engine, flows []topo.Flow) []topo.Flow {
 func NewVerifier(e *Engine, flows []topo.Flow) *Verifier {
 	v := &Verifier{e: e, flows: flows, workers: 1,
 		kreduceT: e.opts.Obs.Timer("check/kreduce")}
+	v.classes, v.classOf = classifyFlows(e, flows)
+	v.measured = make([]float64, len(v.classes))
+	v.sched = SchedStats{Workers: 1, Classes: len(v.classes), DedupHits: dedupHits(v.classes)}
+	e.opts.Obs.Counter("sched.class_dedup_hits").Add(int64(v.sched.DedupHits))
 	flowC := e.opts.Obs.Counter("exec.flows_executed")
-	for _, f := range mergeFlows(e, flows) {
-		s, err := e.executeGoverned(f, v.stfs)
+	for i := range v.classes {
+		before := e.m.Stats().Created
+		s, err := e.executeGoverned(v.classes[i].rep, v.stfs)
 		if err != nil {
 			v.err = err
 			break
 		}
+		v.measured[i] = float64(e.m.Stats().Created - before)
 		v.stfs = append(v.stfs, s)
 		v.execCount++
 		flowC.Inc()

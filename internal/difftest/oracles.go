@@ -35,6 +35,7 @@ func Battery() []Oracle {
 		{"loads-vs-concrete", OracleLoadsVsConcrete},
 		{"violation-sets", OracleViolationSets},
 		{"parallel-vs-sequential", OracleParallelVsSequential},
+		{"global-equiv", OracleGlobalEquiv},
 		{"monotonicity-in-k", OracleMonotonicity},
 		{"kreduce-soundness", OracleKReduceSoundness},
 		{"fused-kernels", OracleFusedKernels},
@@ -172,6 +173,45 @@ func OracleParallelVsSequential(c *Case) error {
 	sa, sb := FormatReport(c.Spec.Net, seq), FormatReport(c.Spec.Net, par)
 	if sa != sb {
 		return fmt.Errorf("reports differ\n--- sequential ---\n%s--- workers=3 ---\n%s", sa, sb)
+	}
+	return nil
+}
+
+// OracleGlobalEquiv checks the representative-sharing contract of global
+// flow equivalence (§6, the parallel scheduler's work unit): verdicts
+// computed by executing one representative per equivalence class and
+// fanning the result out to every member must equal verdicts from
+// executing every flow individually. Violation sets and the overall
+// verdict must match exactly; load values may differ only by float
+// association noise, which ViolationKeys' fixed-precision rendering
+// absorbs. The sharing must also hold under the parallel scheduler,
+// where classes — not flows — are what gets stolen and merged.
+func OracleGlobalEquiv(c *Case) error {
+	n := yu.FromSpec(c.Spec)
+	perFlowOpts := verifyOpts(c, c.K, 1, yu.EngineYU)
+	perFlowOpts.DisableGlobalEquiv = true
+	perFlow, err := n.Verify(perFlowOpts)
+	if err != nil {
+		return err
+	}
+	for name, workers := range map[string]int{"sequential": 1, "workers=3": 3} {
+		shared, err := n.Verify(verifyOpts(c, c.K, workers, yu.EngineYU))
+		if err != nil {
+			return err
+		}
+		if dedup := shared.Sched.DedupHits; workers > 1 && dedup != len(c.Spec.Flows)-shared.FlowsExecuted {
+			return fmt.Errorf("%s: %d dedup hits for %d flows / %d executed",
+				name, dedup, len(c.Spec.Flows), shared.FlowsExecuted)
+		}
+		a := ViolationKeys(c.Spec.Net, perFlow.Violations)
+		b := ViolationKeys(c.Spec.Net, shared.Violations)
+		if err := sameStringSets(a, b); err != nil {
+			return fmt.Errorf("per-flow vs class-shared (%s): %w", name, err)
+		}
+		if perFlow.Holds != shared.Holds {
+			return fmt.Errorf("Holds disagrees (%s): per-flow %v, class-shared %v",
+				name, perFlow.Holds, shared.Holds)
+		}
 	}
 	return nil
 }

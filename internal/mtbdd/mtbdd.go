@@ -80,6 +80,11 @@ type Manager struct {
 	// slabs whose nodes are all dead; the open slab keeps filling.
 	slabs    [][]Node
 	slabUsed int
+	// spare holds pre-allocated slabs handed out by alloc before it falls
+	// back to make. Reserve fills it so a known-size bulk construction
+	// (e.g. ImportSnapshot replaying a shared base) runs without mid-build
+	// allocation stalls.
+	spare [][]Node
 
 	// Resource governance (see interrupt.go): an optional interrupt
 	// hook polled every interruptStride operations, and an optional
@@ -182,12 +187,34 @@ const (
 // the open (last) slab.
 func (m *Manager) alloc() *Node {
 	if len(m.slabs) == 0 || m.slabUsed == slabSize {
-		m.slabs = append(m.slabs, make([]Node, slabSize))
+		if n := len(m.spare); n > 0 {
+			m.slabs = append(m.slabs, m.spare[n-1])
+			m.spare[n-1] = nil
+			m.spare = m.spare[:n-1]
+		} else {
+			m.slabs = append(m.slabs, make([]Node, slabSize))
+		}
 		m.slabUsed = 0
 	}
 	n := &m.slabs[len(m.slabs)-1][m.slabUsed]
 	m.slabUsed++
 	return n
+}
+
+// Reserve pre-allocates slab capacity for at least n additional nodes, so
+// a bulk construction of known size proceeds without growth allocations.
+// Capacity already free in the open slab counts; surplus spare slabs are
+// kept for later. Reserving is purely an allocation hint — it never
+// affects which nodes exist.
+func (m *Manager) Reserve(n int) {
+	free := 0
+	if len(m.slabs) > 0 {
+		free = slabSize - m.slabUsed
+	}
+	free += len(m.spare) * slabSize
+	for need := n - free; need > 0; need -= slabSize {
+		m.spare = append(m.spare, make([]Node, slabSize))
+	}
 }
 
 // bitset is an id-keyed visited set for DAG walks: node id i maps to bit

@@ -19,6 +19,11 @@ import (
 // The clone shares no MTBDD state with the source: all further operations
 // on it (symbolic traffic execution, managed GC) touch only dst.M.
 func (r *Result) ImportInto(dst *FailVars) *Result {
+	r.checkImportDst(dst)
+	return r.importWith(dst, func(n *mtbdd.Node) *mtbdd.Node { return dst.M.Import(n) })
+}
+
+func (r *Result) checkImportDst(dst *FailVars) {
 	src := r.Vars
 	if dst.Net != src.Net || dst.Mode != src.Mode || dst.K != src.K {
 		panic("routesim: ImportInto requires a FailVars over the same network, mode, and budget")
@@ -26,8 +31,11 @@ func (r *Result) ImportInto(dst *FailVars) *Result {
 	if dst.M.NumVars() != src.M.NumVars() {
 		panic(fmt.Sprintf("routesim: ImportInto variable count mismatch: %d vs %d", dst.M.NumVars(), src.M.NumVars()))
 	}
-	imp := func(n *mtbdd.Node) *mtbdd.Node { return dst.M.Import(n) }
+}
 
+// importWith clones the result structure translating every guard through
+// imp — the shared traversal behind ImportInto and ImportBase.ImportInto.
+func (r *Result) importWith(dst *FailVars, imp func(*mtbdd.Node) *mtbdd.Node) *Result {
 	out := &Result{
 		Vars:    dst,
 		IGP:     r.IGP.importInto(dst, imp),
@@ -65,6 +73,81 @@ func (r *Result) ImportInto(dst *FailVars) *Result {
 		out.Statics[i] = cp
 	}
 	return out
+}
+
+// ImportBase is a shared read-only snapshot of every guard MTBDD in a
+// route-simulation result — the copy-on-write base of the parallel
+// pipeline. Build it once with NewImportBase, then let each shard manager
+// clone the result from it with ImportBase.ImportInto: the source DAG is
+// walked and deduplicated once, and each shard only pays a linear replay
+// into its own arena (see mtbdd.Snapshot). The base holds no mutable
+// state, so any number of shards can import from it concurrently.
+type ImportBase struct {
+	src  *Result
+	snap *mtbdd.Snapshot
+}
+
+// NewImportBase flattens all guards of the result into a shared snapshot.
+func (r *Result) NewImportBase() *ImportBase {
+	var roots []*mtbdd.Node
+	r.eachGuard(func(n *mtbdd.Node) { roots = append(roots, n) })
+	return &ImportBase{src: r, snap: mtbdd.NewSnapshot(roots)}
+}
+
+// NumNodes returns the number of distinct MTBDD nodes in the shared base.
+func (b *ImportBase) NumNodes() int { return b.snap.Len() }
+
+// ImportInto clones the underlying result into dst like Result.ImportInto,
+// but resolves guards through the shared snapshot: one linear replay per
+// shard instead of a full memoized re-walk of the source graphs. Safe to
+// call concurrently from multiple shards (each dst owns its manager; the
+// base is read-only).
+func (b *ImportBase) ImportInto(dst *FailVars) *Result {
+	b.src.checkImportDst(dst)
+	table := dst.M.ImportSnapshot(b.snap)
+	return b.src.importWith(dst, func(n *mtbdd.Node) *mtbdd.Node {
+		if i, ok := b.snap.Index(n); ok {
+			return table[i]
+		}
+		// Guard created after the base was built — fall back to a direct
+		// cross-manager import rather than failing.
+		return dst.M.Import(n)
+	})
+}
+
+// eachGuard invokes fn on every guard node of the result, in unspecified
+// order (hash-consing makes replayed graphs canonical regardless of the
+// order they are encoded in).
+func (r *Result) eachGuard(fn func(*mtbdd.Node)) {
+	for ri := range r.IGP.routes {
+		for _, routes := range r.IGP.routes[ri] {
+			for i := range routes {
+				fn(routes[i].Guard)
+			}
+		}
+		for _, guard := range r.IGP.reach[ri] {
+			fn(guard)
+		}
+	}
+	for _, rib := range r.BGP.RIBs {
+		for _, cands := range rib {
+			for _, c := range cands {
+				fn(c.Guard)
+			}
+		}
+	}
+	for _, pols := range r.SR {
+		for i := range pols {
+			for j := range pols[i].Paths {
+				fn(pols[i].Paths[j].Guard)
+			}
+		}
+	}
+	for _, sts := range r.Statics {
+		for i := range sts {
+			fn(sts[i].Guard)
+		}
+	}
 }
 
 func (g *IGP) importInto(dst *FailVars, imp func(*mtbdd.Node) *mtbdd.Node) *IGP {

@@ -67,6 +67,9 @@ type (
 	DirLinkID = topo.DirLinkID
 	// BudgetPolicy selects the response to an MTBDD node-budget breach.
 	BudgetPolicy = core.BudgetPolicy
+	// SchedStats summarizes the parallel scheduler's execution phase
+	// (workers spawned, chunks, steals, class dedup) — see Report.Sched.
+	SchedStats = core.SchedStats
 	// Metrics is the run-metrics registry for VerifyOptions.Obs: phase
 	// timings, per-cache MTBDD hit/miss counters, per-worker counters
 	// (DESIGN.md §11). Create with NewMetrics; read with Snapshot.
@@ -222,6 +225,10 @@ type VerifyOptions struct {
 	// including on partial/incomplete runs). nil disables collection
 	// with zero overhead.
 	Obs *Metrics
+	// CostHints warm-starts the parallel scheduler with measured per-class
+	// execution costs from a previous run (Report.CostHints). Scheduling
+	// only — verdicts and reports never depend on it.
+	CostHints map[string]float64
 }
 
 // Report is the outcome of a verification run.
@@ -254,6 +261,13 @@ type Report struct {
 	// DegradedFlows names flows verified by the bounded concrete
 	// fallback instead of symbolic execution (BudgetDegrade only).
 	DegradedFlows []string
+	// Sched summarizes the execution scheduler (EngineYU only): workers
+	// actually spawned, chunks, steals, and global-equivalence dedup hits.
+	Sched SchedStats
+	// CostHints is the measured per-class execution cost of this run
+	// (EngineYU only) — feed it back via VerifyOptions.CostHints to
+	// warm-start the scheduler of a subsequent run.
+	CostHints map[string]float64
 }
 
 // Verify runs k-failure TLP verification.
@@ -427,6 +441,7 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		OnBudget:              opts.OnBudget,
 		Configs:               n.spec.Configs,
 		Obs:                   opts.Obs,
+		CostHints:             opts.CostHints,
 	})
 	execSpan := opts.Obs.Span("execute")
 	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
@@ -462,6 +477,8 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		Unchecked:          rep.Unchecked,
 		UncheckedDelivered: rep.UncheckedDelivered,
 		DegradedFlows:      rep.DegradedFlows,
+		Sched:              ver.SchedStats(),
+		CostHints:          ver.CostHints(),
 	}
 	return out, verr
 }
