@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/canon"
 	"github.com/yu-verify/yu/internal/concrete"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -73,6 +74,7 @@ type verifyConfig struct {
 	timeout    time.Duration
 	maxNodes   int
 	stats      bool
+	canon      bool
 	mode       yu.FailureMode
 	modeSet    bool
 	engine     yu.Engine
@@ -139,6 +141,7 @@ func parseVerifyFlags(args []string, eh flag.ErrorHandling) (*verifyConfig, erro
 		return nil
 	})
 	fs.BoolVar(&cfg.stats, "stats", false, "print per-link statistics")
+	fs.BoolVar(&cfg.canon, "canon", false, "print the canonical report (byte-comparable across runs and with yud)")
 	fs.Func("metrics", "emit run metrics to stderr: json or text", func(s string) error {
 		switch s {
 		case "json", "text":
@@ -284,6 +287,15 @@ func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
 		return fail(err)
 	}
 	topoN := net.Topology()
+	if cfg.canon {
+		// Canonical rendering only: the byte-identity surface shared
+		// with the daemon's /v1/report (used by the CI cold-diff).
+		io.WriteString(stdout, canon.FormatReport(topoN, rep))
+		if err != nil || !rep.Holds {
+			return 1
+		}
+		return code
+	}
 	switch {
 	case err != nil:
 		// Governance cut the run short: report what was checked before

@@ -94,6 +94,11 @@ type Options struct {
 	// back to a topology heuristic. Purely a scheduling hint — verdicts
 	// and reports never depend on it.
 	CostHints map[string]float64
+	// STFCache, when non-nil, is consulted by the sequential verifier
+	// before executing each equivalence class and fed every freshly
+	// executed STF — the reuse hook of the incremental daemon
+	// (internal/serve). See the STFCache interface contract.
+	STFCache STFCache
 }
 
 // Engine executes flows symbolically against one route-simulation result.

@@ -12,6 +12,7 @@ package core
 
 import (
 	"encoding/json"
+	"log"
 	"os"
 	"sort"
 	"strconv"
@@ -278,7 +279,10 @@ func SaveCostHints(path string, hints map[string]float64) error {
 
 // LoadCostHints reads a cost-hint map written by SaveCostHints. A missing
 // file is not an error — it returns an empty map, so callers can treat
-// hints as best-effort warm-start data.
+// hints as best-effort warm-start data. A corrupt or truncated file is
+// handled the same way: hints are a scheduling aid, never a correctness
+// input, so a bad file logs a warning and falls back to the topology
+// heuristic instead of failing the run.
 func LoadCostHints(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -289,7 +293,8 @@ func LoadCostHints(path string) (map[string]float64, error) {
 	}
 	var hints map[string]float64
 	if err := json.Unmarshal(data, &hints); err != nil {
-		return nil, err
+		log.Printf("yu: cost hints %s: %v; ignoring file, scheduler falls back to the topology heuristic", path, err)
+		return map[string]float64{}, nil
 	}
 	return hints, nil
 }

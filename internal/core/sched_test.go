@@ -2,6 +2,7 @@ package core
 
 import (
 	"hash/fnv"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -165,6 +166,31 @@ func TestCostHintsRoundTrip(t *testing.T) {
 	par := NewParallelVerifier(e2, flows, 4)
 	parRep := mustRun(t, func() (*Report, error) { return par.Run(nil, nil, 1.0) })
 	reportsEqual(t, "hints-warm-start", seqRep, parRep)
+}
+
+// TestCostHintsCorruptFile pins the degraded-input contract: a hints
+// file that is not valid JSON (truncated write, disk corruption, manual
+// editing) must not fail the run — LoadCostHints warns and returns an
+// empty map, so the scheduler falls back to the topology heuristic.
+// This is the contract the daemon's warm-state restore relies on.
+func TestCostHintsCorruptFile(t *testing.T) {
+	for name, garbage := range map[string]string{
+		"not-json":  "these are not the hints you are looking for",
+		"truncated": `{"class-a": 12`,
+		"wrong-top": `[1, 2, 3]`,
+	} {
+		path := filepath.Join(t.TempDir(), "hints.json")
+		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		hints, err := LoadCostHints(path)
+		if err != nil {
+			t.Fatalf("%s: corrupt hints file must not error, got %v", name, err)
+		}
+		if len(hints) != 0 {
+			t.Fatalf("%s: corrupt hints file yielded %d entries, want 0", name, len(hints))
+		}
+	}
 }
 
 // TestSchedulerNoIdleWorkers pins satellite 1: the scheduler never spawns

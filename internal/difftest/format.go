@@ -1,172 +1,13 @@
 package difftest
 
 import (
-	"fmt"
-	"math"
-	"strconv"
-	"strings"
-
+	"github.com/yu-verify/yu/internal/canon"
 	"github.com/yu-verify/yu/internal/config"
-	"github.com/yu-verify/yu/internal/topo"
 )
 
 // FormatSpec renders a specification as config-DSL text that parses back
 // to an equivalent spec — the reproducer format cmd/yudiff prints and the
-// spec-round-trip oracle checks. Loopbacks and interface addresses are
-// emitted explicitly so the rebuilt topology is address-identical, and
-// BGP sessions are emitted explicitly (never via auto-bgp-mesh) so the
-// session order — which fixes float accumulation order — survives the
-// round trip.
-//
-// Specs that cannot be rendered faithfully (token-breaking names,
-// per-direction asymmetric link costs) return an error instead of lossy
-// text.
-func FormatSpec(spec *config.Spec) (string, error) {
-	net := spec.Net
-	for _, r := range net.Routers {
-		if !tokenSafe(r.Name) {
-			return "", fmt.Errorf("difftest: router name %q is not representable in the DSL", r.Name)
-		}
-	}
-	var sb strings.Builder
-
-	sb.WriteString("# generated by internal/difftest (reproducer spec)\n")
-	for _, r := range net.Routers {
-		fmt.Fprintf(&sb, "router %s as %d loopback %s", r.Name, r.AS, r.Loopback)
-		if r.NoFail {
-			sb.WriteString(" nofail")
-		}
-		sb.WriteByte('\n')
-	}
-	for i := range net.Links {
-		l := &net.Links[i]
-		if l.CostAB != l.CostBA {
-			return "", fmt.Errorf("difftest: link %s has asymmetric costs, not representable", net.LinkName(l.ID))
-		}
-		fmt.Fprintf(&sb, "link %s %s cost %d capacity %s addr-a %s addr-b %s",
-			net.Router(l.A).Name, net.Router(l.B).Name, l.CostAB, ftoa(l.Capacity), l.AddrA, l.AddrB)
-		if l.NoFail {
-			sb.WriteString(" nofail")
-		}
-		sb.WriteByte('\n')
-	}
-
-	for _, r := range net.Routers {
-		rc, ok := spec.Configs[r.Name]
-		if !ok || emptyConfig(rc) {
-			continue
-		}
-		fmt.Fprintf(&sb, "config %s\n", r.Name)
-		for _, pfx := range rc.Networks {
-			fmt.Fprintf(&sb, "  network %s\n", pfx)
-		}
-		for _, nb := range rc.Neighbors {
-			fmt.Fprintf(&sb, "  neighbor %s remote-as %d", nb.Addr, nb.RemoteAS)
-			if nb.LocalPref != 0 {
-				fmt.Fprintf(&sb, " local-pref %d", nb.LocalPref)
-			}
-			if nb.NextHopSelf {
-				sb.WriteString(" next-hop-self")
-			}
-			for _, deny := range nb.ExportDeny {
-				fmt.Fprintf(&sb, " export-deny %s", deny)
-			}
-			sb.WriteByte('\n')
-		}
-		for _, st := range rc.Statics {
-			if st.Discard {
-				fmt.Fprintf(&sb, "  static %s discard\n", st.Prefix)
-			} else {
-				fmt.Fprintf(&sb, "  static %s via %s\n", st.Prefix, st.NextHop)
-			}
-		}
-		if rc.RedistributeStatic {
-			sb.WriteString("  redistribute static\n")
-		}
-		for _, pol := range rc.SRPolicies {
-			fmt.Fprintf(&sb, "  sr-policy %s", pol.Endpoint)
-			if pol.MatchDSCP != config.AnyDSCP {
-				if pol.MatchDSCP < 0 || pol.MatchDSCP > 63 {
-					return "", fmt.Errorf("difftest: SR policy dscp %d out of DSL range", pol.MatchDSCP)
-				}
-				fmt.Fprintf(&sb, " dscp %d", pol.MatchDSCP)
-			}
-			sb.WriteByte('\n')
-			for _, p := range pol.Paths {
-				sb.WriteString("    path")
-				for _, seg := range p.Segments {
-					fmt.Fprintf(&sb, " %s", seg)
-				}
-				fmt.Fprintf(&sb, " weight %d\n", p.Weight)
-			}
-		}
-	}
-
-	for _, f := range spec.Flows {
-		if f.Name == "" || !tokenSafe(f.Name) {
-			return "", fmt.Errorf("difftest: flow name %q is not representable in the DSL", f.Name)
-		}
-		fmt.Fprintf(&sb, "flow %s ingress %s", f.Name, net.Router(f.Ingress).Name)
-		if f.Src.IsValid() {
-			fmt.Fprintf(&sb, " src %s", f.Src)
-		}
-		fmt.Fprintf(&sb, " dst %s", f.Dst)
-		if f.DSCP != 0 {
-			fmt.Fprintf(&sb, " dscp %d", f.DSCP)
-		}
-		fmt.Fprintf(&sb, " gbps %s\n", ftoa(f.Gbps))
-	}
-
-	for _, b := range spec.Props {
-		l := net.Link(b.Link)
-		a, bb := net.Router(l.A).Name, net.Router(l.B).Name
-		if strings.Contains(a, "-") || strings.Contains(bb, "-") || strings.Contains(a, ">") {
-			return "", fmt.Errorf("difftest: property on link %s-%s: names break the DSL link syntax", a, bb)
-		}
-		if b.DirSpecified {
-			if b.Dir == topo.BtoA {
-				a, bb = bb, a
-			}
-			fmt.Fprintf(&sb, "property dirlink %s->%s", a, bb)
-		} else {
-			fmt.Fprintf(&sb, "property link %s-%s", a, bb)
-		}
-		writeBounds(&sb, b.Min, b.Max)
-		sb.WriteByte('\n')
-	}
-	for _, b := range spec.Delivered {
-		fmt.Fprintf(&sb, "property delivered %s", b.Prefix)
-		writeBounds(&sb, b.Min, b.Max)
-		sb.WriteByte('\n')
-	}
-
-	fmt.Fprintf(&sb, "failures k %d mode %s\n", spec.K, spec.Mode)
-	return sb.String(), nil
-}
-
-func writeBounds(sb *strings.Builder, min, max float64) {
-	if min != 0 {
-		fmt.Fprintf(sb, " min %s", ftoa(min))
-	}
-	if !math.IsInf(max, 1) {
-		fmt.Fprintf(sb, " max %s", ftoa(max))
-	}
-}
-
-// ftoa renders a float with the shortest representation that parses back
-// to the identical value.
-func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// tokenSafe reports whether a name survives the DSL's whitespace/comment
-// tokenization unchanged.
-func tokenSafe(s string) bool {
-	if s == "" {
-		return false
-	}
-	return !strings.ContainsAny(s, " \t\r\n\f\v#")
-}
-
-func emptyConfig(rc *config.Router) bool {
-	return len(rc.Networks) == 0 && len(rc.Neighbors) == 0 && len(rc.Statics) == 0 &&
-		!rc.RedistributeStatic && len(rc.SRPolicies) == 0
-}
+// spec-round-trip oracle checks. The renderer lives in internal/canon
+// (shared with the incremental daemon); this wrapper keeps the historical
+// difftest entry point.
+func FormatSpec(spec *config.Spec) (string, error) { return canon.FormatSpec(spec) }

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -23,6 +24,35 @@ func FuzzBattery(f *testing.F) {
 		}
 		if err := RunAll(c); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// FuzzDeltas is the incremental-vs-cold harness: the fuzzer explores
+// (case seed, delta-sequence seed, length) triples and every sequence of
+// generated deltas applied through the daemon must leave its report
+// byte-identical to a cold full verification of the final specification
+// (see CheckDeltas). The corpus under testdata/fuzz/FuzzDeltas pins
+// shapes that exercise each delta kind.
+func FuzzDeltas(f *testing.F) {
+	f.Add(int64(1), int64(1), int64(2))
+	f.Add(int64(7), int64(3), int64(3))
+	f.Add(int64(42), int64(5), int64(4))
+	f.Add(int64(99), int64(2), int64(3))
+	f.Fuzz(func(t *testing.T, caseSeed, deltaSeed, n int64) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 5 {
+			n = n%5 + 1
+		}
+		c, err := New(caseSeed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", caseSeed, err)
+		}
+		rng := rand.New(rand.NewSource(deltaSeed))
+		if err := CheckDeltas(c, rng, int(n)); err != nil {
+			t.Fatalf("case seed %d, delta seed %d, n %d: %v", caseSeed, deltaSeed, n, err)
 		}
 	})
 }

@@ -1,11 +1,8 @@
 package difftest
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/canon"
 	"github.com/yu-verify/yu/internal/core"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -13,91 +10,17 @@ import (
 // ViolationKeys renders each violation to its property identity — the
 // kind plus the directed link (or prefix) it is about — deduplicated and
 // sorted. Two verification runs flag "the same violations" when these key
-// sets are equal; witnesses and values may legitimately differ between
-// engines (any in-budget counterexample is a correct answer).
+// sets are equal. The renderer lives in internal/canon; this wrapper
+// keeps the historical difftest entry point.
 func ViolationKeys(net *topo.Network, vs []core.Violation) []string {
-	set := make(map[string]bool)
-	for _, v := range vs {
-		switch v.Kind {
-		case "link-load":
-			set["link-load "+net.DirLinkName(v.Link)] = true
-		case "delivered":
-			set["delivered "+v.Prefix.String()] = true
-		default:
-			set["unknown "+v.Kind] = true
-		}
-	}
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return canon.ViolationKeys(net, vs)
 }
 
 // FormatReport renders a verification report canonically: every
 // deterministic field, no wall-clock fields. Two runs of the pipeline are
 // "byte-identical" exactly when their FormatReport strings are equal —
-// the contract the parallel pipeline and the spec round-trip are held to.
+// the contract the parallel pipeline, the spec round-trip, and the
+// incremental daemon are held to.
 func FormatReport(net *topo.Network, rep *yu.Report) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "holds %v\n", rep.Holds)
-	fmt.Fprintf(&sb, "flows %d executed %d\n", rep.FlowsTotal, rep.FlowsExecuted)
-	fmt.Fprintf(&sb, "violations %d\n", len(rep.Violations))
-	for _, v := range rep.Violations {
-		switch v.Kind {
-		case "link-load":
-			fmt.Fprintf(&sb, "  link-load %s", net.DirLinkName(v.Link))
-		case "delivered":
-			fmt.Fprintf(&sb, "  delivered %s", v.Prefix)
-		default:
-			fmt.Fprintf(&sb, "  %s", v.Kind)
-		}
-		fmt.Fprintf(&sb, " value %.9g min %.9g max %.9g when", v.Value, v.Min, v.Max)
-		if len(v.FailedLinks) == 0 && len(v.FailedRouters) == 0 {
-			sb.WriteString(" nothing fails")
-		}
-		for _, l := range v.FailedLinks {
-			fmt.Fprintf(&sb, " link %s", net.LinkName(l))
-		}
-		for _, r := range v.FailedRouters {
-			fmt.Fprintf(&sb, " router %s", net.Router(r).Name)
-		}
-		sb.WriteByte('\n')
-	}
-	fmt.Fprintf(&sb, "checks %d\n", len(rep.LinkStats))
-	for _, st := range rep.LinkStats {
-		if st.Kind == "delivered" {
-			fmt.Fprintf(&sb, "  delivered %s flows %d classes %d\n", st.Prefix, st.Flows, st.Classes)
-		} else {
-			fmt.Fprintf(&sb, "  link %s flows %d classes %d\n", net.DirLinkName(st.Link), st.Flows, st.Classes)
-		}
-	}
-	// Governance fields, printed only when set so complete runs keep their
-	// historical rendering.
-	if rep.Incomplete {
-		fmt.Fprintf(&sb, "incomplete true\n")
-	}
-	if len(rep.Unchecked) > 0 {
-		names := make([]string, len(rep.Unchecked))
-		for i, l := range rep.Unchecked {
-			names[i] = net.DirLinkName(l)
-		}
-		sort.Strings(names)
-		fmt.Fprintf(&sb, "unchecked links %s\n", strings.Join(names, " "))
-	}
-	if len(rep.UncheckedDelivered) > 0 {
-		names := make([]string, len(rep.UncheckedDelivered))
-		for i, p := range rep.UncheckedDelivered {
-			names[i] = p.String()
-		}
-		sort.Strings(names)
-		fmt.Fprintf(&sb, "unchecked delivered %s\n", strings.Join(names, " "))
-	}
-	if len(rep.DegradedFlows) > 0 {
-		names := append([]string(nil), rep.DegradedFlows...)
-		sort.Strings(names)
-		fmt.Fprintf(&sb, "degraded flows %s\n", strings.Join(names, " "))
-	}
-	return sb.String()
+	return canon.FormatReport(net, rep)
 }

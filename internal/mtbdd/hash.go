@@ -1,0 +1,67 @@
+package mtbdd
+
+import "math"
+
+// Hasher computes structural hashes of MTBDD nodes: two nodes from the
+// same manager hash equal exactly when they are the same canonical node,
+// and — more usefully — nodes from *different* managers with the same
+// variable order hash equal when they represent the same function. That
+// is the property the incremental daemon (internal/serve) keys its STF
+// cache on: a guard hashed in one run identifies the same guard in the
+// next run's freshly built manager.
+//
+// Hashes are memoized per node pointer, so hashing a guard layer that
+// shares most of its DAG with previously hashed guards is nearly free.
+// A Hasher must only be used with nodes of managers sharing one variable
+// order, and is not safe for concurrent use.
+type Hasher struct {
+	memo map[*Node]uint64
+}
+
+// NewHasher returns an empty memoized hasher.
+func NewHasher() *Hasher {
+	return &Hasher{memo: make(map[*Node]uint64)}
+}
+
+// Hash returns the structural hash of n (nil hashes to 0). Children are
+// hashed before parents with an explicit stack, so arbitrarily deep DAGs
+// cannot overflow the goroutine stack.
+func (h *Hasher) Hash(n *Node) uint64 {
+	if n == nil {
+		return 0
+	}
+	if v, ok := h.memo[n]; ok {
+		return v
+	}
+	type frame struct {
+		n        *Node
+		expanded bool
+	}
+	stack := []frame{{n, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := h.memo[f.n]; ok && !f.expanded {
+			continue
+		}
+		if f.n.IsTerminal() {
+			h.memo[f.n] = mix64(0x9e3779b97f4a7c15 ^ math.Float64bits(f.n.Value))
+			continue
+		}
+		if f.expanded {
+			v := mix64(uint64(f.n.Level) + 0x6a09e667f3bcc909)
+			v = mix64(v ^ h.memo[f.n.Lo])
+			v = mix64((v + 0x3c6ef372fe94f82b) ^ h.memo[f.n.Hi])
+			h.memo[f.n] = v
+			continue
+		}
+		stack = append(stack, frame{f.n, true})
+		if _, ok := h.memo[f.n.Hi]; !ok {
+			stack = append(stack, frame{f.n.Hi, false})
+		}
+		if _, ok := h.memo[f.n.Lo]; !ok {
+			stack = append(stack, frame{f.n.Lo, false})
+		}
+	}
+	return h.memo[n]
+}

@@ -287,3 +287,20 @@ func (r *Registry) Snapshot() *Snapshot {
 // knownCaches are the MTBDD cache names every snapshot reports, even
 // at zero. Keep in sync with mtbdd.Stats (DESIGN.md §11).
 var knownCaches = []string{"apply", "kreduce", "neg", "range", "import", "fused"}
+
+// ServeCounterNames is the counter schema of the incremental daemon
+// (internal/serve, DESIGN.md §14). The daemon pre-creates every name at
+// startup so `GET /v1/metrics` consumers can rely on the keys existing
+// even at zero — the same schema guarantee knownCaches gives the MTBDD
+// cache block. Reload latency is recorded under the "serve.reload"
+// timer, per-run verification time under the "verify" phase.
+var ServeCounterNames = []string{
+	"serve.class_cache_hits",   // equivalence classes served from the warm STF cache
+	"serve.class_cache_misses", // classes that had to be (re-)executed
+	"serve.dirty_classes",      // cache misses attributable to an applied delta
+	"serve.reloads",            // accepted full-spec reloads
+	"serve.deltas_applied",     // accepted delta operations
+	"serve.deltas_rejected",    // rejected delta operations (invalid op or target)
+	"serve.versions",           // versions published (initial load included)
+	"serve.cache_evictions",    // warm-cache resets after exceeding the entry cap
+}

@@ -1,0 +1,312 @@
+// Warm STF cache: content-hash keys, the core.STFCache adapter consulted
+// by the sequential verifier, and the version-independent store that
+// survives reloads (and, via persist.go, restarts).
+package serve
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/obs"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// cacheKey is the 128-bit content fingerprint of one equivalence class's
+// complete execution input surface. Two independent mixes of the same
+// token stream make accidental collisions negligible (~2^-64 at any
+// realistic cache population).
+type cacheKey struct {
+	a, b uint64
+}
+
+// tok accumulates the typed token stream a fingerprint hashes. Tokens
+// are length-prefixed where variable-sized, so distinct field sequences
+// cannot collide by concatenation.
+type tok struct {
+	s []uint64
+}
+
+func (t *tok) u64(x uint64) { t.s = append(t.s, x) }
+
+func (t *tok) b(x bool) {
+	if x {
+		t.u64(1)
+	} else {
+		t.u64(2)
+	}
+}
+
+func (t *tok) str(s string) {
+	t.u64(uint64(len(s)))
+	var acc, n uint64
+	for i := 0; i < len(s); i++ {
+		acc = acc<<8 | uint64(s[i])
+		if n++; n == 8 {
+			t.u64(acc)
+			acc, n = 0, 0
+		}
+	}
+	if n > 0 {
+		t.u64(acc)
+	}
+}
+
+func (t *tok) addr(a netip.Addr) {
+	b := a.As16()
+	for i := 0; i < 16; i += 8 {
+		var x uint64
+		for j := 0; j < 8; j++ {
+			x = x<<8 | uint64(b[i+j])
+		}
+		t.u64(x)
+	}
+	t.b(a.Is4())
+}
+
+func (t *tok) prefix(p netip.Prefix) {
+	t.addr(p.Addr())
+	t.u64(uint64(int64(p.Bits())))
+}
+
+// key derives the two independent 64-bit mixes: an FNV-1a pass and a
+// splitmix-chained pass over the same tokens.
+func (t *tok) key() cacheKey {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	a := uint64(fnvOffset)
+	b := uint64(0x2545f4914f6cdd1d)
+	for _, x := range t.s {
+		for i := 0; i < 8; i++ {
+			a = (a ^ (x >> (8 * i) & 0xff)) * fnvPrime
+		}
+		b = mix64(b ^ mix64(x+0x9e3779b97f4a7c15))
+	}
+	return cacheKey{a, b}
+}
+
+// mix64 is the splitmix64 finalizer (same construction as mtbdd's).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// stfEntry is one cached class execution in manager-independent form:
+// the MTBDD snapshot of every root plus the indices to rebuild a
+// core.FlowSTF from the replay table.
+type stfEntry struct {
+	snap                         *mtbdd.Snapshot
+	links                        []topo.DirLinkID // ascending
+	linkRoots                    []uint32         // parallel to links
+	delivered, dropped, inFlight uint32
+	iterations                   int
+}
+
+// stfStore is the shared warm cache. It outlives versions and reloads;
+// content-hash keys make stale entries unreachable rather than wrong.
+type stfStore struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*stfEntry
+	limit   int
+}
+
+func newSTFStore(limit int) *stfStore {
+	return &stfStore{entries: make(map[cacheKey]*stfEntry), limit: limit}
+}
+
+func (st *stfStore) get(k cacheKey) *stfEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.entries[k]
+}
+
+// put inserts an entry, resetting the whole cache first if it is full
+// (full reset keeps the policy trivially correct; evictions are rare and
+// counted so capacity tuning is visible).
+func (st *stfStore) put(k cacheKey, e *stfEntry, evictC *obs.Counter) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[k]; !ok && len(st.entries) >= st.limit {
+		st.entries = make(map[cacheKey]*stfEntry)
+		evictC.Inc()
+	}
+	st.entries[k] = e
+}
+
+func (st *stfStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// runCache adapts the shared store to core.STFCache for one verification
+// run. It memoizes the run-global fingerprint (topology, failure model,
+// IGP, SR) and the guard hasher, so per-class keys cost one pass over
+// the class's own RIB rows.
+type runCache struct {
+	srv    *Server
+	hasher *mtbdd.Hasher
+
+	global      [2]uint64
+	globalReady bool
+
+	hits, misses int64
+}
+
+func newRunCache(s *Server) *runCache {
+	return &runCache{srv: s, hasher: mtbdd.NewHasher()}
+}
+
+// globalTokens fingerprints everything every class execution reads:
+// topology identity (names pin router/link indices), the failure model,
+// and the complete guarded IGP and SR state.
+func (rc *runCache) globalFP(e *core.Engine) [2]uint64 {
+	if rc.globalReady {
+		return rc.global
+	}
+	var t tok
+	net := e.Net()
+	fv := e.Vars()
+	rs := e.RouteSim()
+	t.u64(uint64(len(net.Routers)))
+	for i := range net.Routers {
+		r := &net.Routers[i]
+		t.str(r.Name)
+		t.u64(uint64(r.AS))
+		t.addr(r.Loopback)
+		t.b(r.NoFail)
+	}
+	t.u64(uint64(len(net.Links)))
+	for i := range net.Links {
+		l := &net.Links[i]
+		t.u64(uint64(int64(l.A)))
+		t.u64(uint64(int64(l.B)))
+		t.u64(uint64(l.CostAB))
+		t.u64(uint64(l.CostBA))
+		t.u64(math.Float64bits(l.Capacity))
+		t.addr(l.AddrA)
+		t.addr(l.AddrB)
+		t.b(l.NoFail)
+	}
+	t.u64(uint64(int64(fv.K)))
+	t.u64(uint64(int64(fv.Mode)))
+	t.u64(rs.HashIGP(rc.hasher))
+	t.u64(rs.HashSR(rc.hasher))
+	k := t.key()
+	rc.global = [2]uint64{k.a, k.b}
+	rc.globalReady = true
+	return rc.global
+}
+
+// classKey fingerprints one class's execution inputs: the run-global
+// state plus the class identity (ingress, DSCP, matched prefix list) and
+// every router's RIB candidates and statics for those prefixes.
+func (rc *runCache) classKey(e *core.Engine, rep topo.Flow) cacheKey {
+	g := rc.globalFP(e)
+	net := e.Net()
+	rs := e.RouteSim()
+	var t tok
+	t.u64(g[0])
+	t.u64(g[1])
+	t.str(net.Router(rep.Ingress).Name)
+	t.u64(uint64(rep.DSCP))
+	prefixes := e.ClassPrefixes(rep.Dst)
+	t.u64(uint64(len(prefixes)))
+	for _, pfx := range prefixes {
+		t.prefix(pfx)
+		for r := 0; r < net.NumRouters(); r++ {
+			t.u64(rs.HashPrefix(topo.RouterID(r), pfx, rc.hasher))
+		}
+	}
+	return t.key()
+}
+
+// Lookup implements core.STFCache: rebuild the class STF from the warm
+// entry by snapshot replay into e's manager. Defensive shape checks keep
+// a stale or corrupt persisted entry from being materialized.
+func (rc *runCache) Lookup(e *core.Engine, rep topo.Flow) (*core.FlowSTF, bool) {
+	ent := rc.srv.store.get(rc.classKey(e, rep))
+	reg := rc.srv.reg
+	if ent == nil {
+		rc.misses++
+		reg.Counter("serve.class_cache_misses").Inc()
+		if rc.srv.everRan.Load() {
+			reg.Counter("serve.dirty_classes").Inc()
+		}
+		return nil, false
+	}
+	if int(ent.snap.MaxLevel()) >= e.Manager().NumVars() {
+		rc.misses++
+		reg.Counter("serve.class_cache_misses").Inc()
+		return nil, false
+	}
+	maxDir := 2 * e.Net().NumLinks()
+	for _, l := range ent.links {
+		if int(l) < 0 || int(l) >= maxDir {
+			rc.misses++
+			reg.Counter("serve.class_cache_misses").Inc()
+			return nil, false
+		}
+	}
+	table := e.Manager().ImportSnapshot(ent.snap)
+	stf := &core.FlowSTF{
+		Flow:       rep,
+		Links:      make(map[topo.DirLinkID]*mtbdd.Node, len(ent.links)),
+		Delivered:  table[ent.delivered],
+		Dropped:    table[ent.dropped],
+		InFlight:   table[ent.inFlight],
+		Iterations: ent.iterations,
+	}
+	for i, l := range ent.links {
+		stf.Links[l] = table[ent.linkRoots[i]]
+	}
+	rc.hits++
+	reg.Counter("serve.class_cache_hits").Inc()
+	return stf, true
+}
+
+// Store implements core.STFCache: snapshot a freshly executed class STF
+// into the shared store. Degraded (fallback-built) STFs are not cached —
+// they depend on the governance budget, not just the route state.
+func (rc *runCache) Store(e *core.Engine, rep topo.Flow, stf *core.FlowSTF) {
+	if stf == nil || stf.Degraded {
+		return
+	}
+	links := make([]topo.DirLinkID, 0, len(stf.Links))
+	for l := range stf.Links {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	roots := make([]*mtbdd.Node, 0, 3+len(links))
+	roots = append(roots, stf.Delivered, stf.Dropped, stf.InFlight)
+	for _, l := range links {
+		roots = append(roots, stf.Links[l])
+	}
+	snap := mtbdd.NewSnapshot(roots)
+	idx := func(n *mtbdd.Node) uint32 {
+		i, _ := snap.Index(n)
+		return i
+	}
+	ent := &stfEntry{
+		snap:       snap,
+		links:      links,
+		linkRoots:  make([]uint32, len(links)),
+		delivered:  idx(stf.Delivered),
+		dropped:    idx(stf.Dropped),
+		inFlight:   idx(stf.InFlight),
+		iterations: stf.Iterations,
+	}
+	for i, l := range links {
+		ent.linkRoots[i] = idx(stf.Links[l])
+	}
+	rc.srv.store.put(rc.classKey(e, rep), ent, rc.srv.reg.Counter("serve.cache_evictions"))
+}

@@ -1,0 +1,217 @@
+// HTTP/JSON surface of the daemon. Every handler pins the version it
+// serves with a single atomic load (directly or through the Server
+// accessors), so each response cites exactly one version even while
+// reloads and deltas race it.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies (spec texts and delta batches).
+const maxBodyBytes = 16 << 20
+
+// verifyRequest is the optional POST /v1/verify body.
+type verifyRequest struct {
+	// Spec, when non-empty, is a full specification text to load before
+	// verifying (a reload). Empty verifies the current version.
+	Spec string `json:"spec,omitempty"`
+}
+
+// deltaRequest is the POST /v1/delta body.
+type deltaRequest struct {
+	Deltas []Delta `json:"deltas"`
+	// Verify forces verification of the new version before responding
+	// (by default deltas publish lazily and the next report pays).
+	Verify bool `json:"verify,omitempty"`
+}
+
+// reportResponse is the JSON rendering of a RunResult.
+type reportResponse struct {
+	Version     int64  `json:"version"`
+	Holds       bool   `json:"holds"`
+	Report      string `json:"report"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Error       string `json:"error,omitempty"`
+}
+
+type versionResponse struct {
+	Version int64 `json:"version"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/verify   verify current version, or reload {"spec": ...} and verify
+//	POST /v1/delta    apply {"deltas": [...]} atomically, return new version
+//	GET  /v1/report   verification result of the current version
+//	GET  /v1/spec     canonical spec text (X-Yu-Version header)
+//	GET  /v1/metrics  obs registry snapshot
+//	POST /v1/save     persist warm state now
+//	GET  /v1/healthz  liveness + current version
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/delta", s.handleDelta)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/spec", s.handleSpec)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/save", s.handleSave)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if len(body) == 0 {
+		return true // empty body keeps v's zero value
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+		return false
+	}
+	return true
+}
+
+func runResultJSON(res RunResult) reportResponse {
+	out := reportResponse{
+		Version:     res.Version,
+		Holds:       res.Holds,
+		Report:      res.Text,
+		CacheHits:   res.Stats.CacheHits,
+		CacheMisses: res.Stats.CacheMisses,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req verifyRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Spec != "" {
+		if _, err := s.LoadSpecText(req.Spec); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	res, err := s.Report()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResultJSON(res))
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req deltaRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Deltas) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no deltas"))
+		return
+	}
+	id, err := s.ApplyDeltas(req.Deltas)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.Verify {
+		res, err := s.Report()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, runResultJSON(res))
+		return
+	}
+	writeJSON(w, http.StatusOK, versionResponse{Version: id})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	res, err := s.Report()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResultJSON(res))
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	text, id := s.SpecText()
+	if id == 0 {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: no specification loaded"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Yu-Version", fmt.Sprint(id))
+	io.WriteString(w, text)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.Snapshot().WriteJSON(w)
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if err := s.SaveState(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"saved": s.cfg.StatePath != "", "entries": s.store.len()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.Version()})
+}

@@ -1,0 +1,225 @@
+// Warm-state persistence: the STF cache (through the mtbdd.Snapshot
+// codec) and cost hints are written to cfg.StatePath so a restarted
+// daemon resumes warm. Loading is best-effort — corrupt or stale state
+// logs a warning and starts cold, mirroring core.LoadCostHints: warm
+// state is a latency aid, never a correctness input (content-hash keys
+// make a wrong entry unreachable, and Lookup shape-checks survivors).
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/mtbdd"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+const (
+	warmMagic      = "YUWARM1\n"
+	warmCacheFile  = "stfcache.bin"
+	warmHintsFile  = "costhints.json"
+	maxWarmEntries = 1 << 20
+	maxWarmLinks   = 1 << 24
+	maxWarmIters   = 1 << 24
+)
+
+// SaveState persists the warm cache and cost hints to cfg.StatePath.
+// No-op (nil) when persistence is disabled.
+func (s *Server) SaveState() error {
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.cfg.StatePath, 0o755); err != nil {
+		return err
+	}
+	if err := core.SaveCostHints(filepath.Join(s.cfg.StatePath, warmHintsFile), s.copyHints()); err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.StatePath, warmCacheFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = s.store.encode(w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadState restores persisted warm state. Never fails the caller.
+func (s *Server) loadState() {
+	hints, err := core.LoadCostHints(filepath.Join(s.cfg.StatePath, warmHintsFile))
+	if err != nil {
+		log.Printf("yud: cost hints: %v; starting without", err)
+	} else {
+		s.hints = hints
+	}
+	path := filepath.Join(s.cfg.StatePath, warmCacheFile)
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("yud: warm cache %s: %v; starting cold", path, err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := s.store.decode(bufio.NewReader(f), s.cfg.CacheLimit); err != nil {
+		log.Printf("yud: warm cache %s: %v; starting cold", path, err)
+		s.store.mu.Lock()
+		s.store.entries = make(map[cacheKey]*stfEntry)
+		s.store.mu.Unlock()
+	}
+}
+
+// encode writes the store: magic, entry count, then per entry the key,
+// STF shape, and the embedded MTBDD snapshot frame. Keys are written in
+// sorted order so equal stores serialize identically.
+func (st *stfStore) encode(w io.Writer) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, err := io.WriteString(w, warmMagic); err != nil {
+		return err
+	}
+	keys := make([]cacheKey, 0, len(st.entries))
+	for k := range st.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		e := st.entries[k]
+		hdr := []uint64{k.a, k.b}
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		fixed := []uint32{uint32(e.iterations), e.delivered, e.dropped, e.inFlight, uint32(len(e.links))}
+		if err := binary.Write(w, binary.LittleEndian, fixed); err != nil {
+			return err
+		}
+		for i, l := range e.links {
+			if err := binary.Write(w, binary.LittleEndian, int32(l)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, e.linkRoots[i]); err != nil {
+				return err
+			}
+		}
+		if err := e.snap.Encode(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decode replaces the store's contents from an encode stream, validating
+// every count and root index before accepting an entry.
+func (st *stfStore) decode(r io.Reader, limit int) error {
+	magic := make([]byte, len(warmMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("magic: %w", err)
+	}
+	if string(magic) != warmMagic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
+	if count > maxWarmEntries {
+		return fmt.Errorf("entry count %d exceeds limit", count)
+	}
+	entries := make(map[cacheKey]*stfEntry, count)
+	for i := uint32(0); i < count; i++ {
+		var k cacheKey
+		if err := binary.Read(r, binary.LittleEndian, &k.a); err != nil {
+			return fmt.Errorf("entry %d key: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &k.b); err != nil {
+			return fmt.Errorf("entry %d key: %w", i, err)
+		}
+		var fixed [5]uint32
+		if err := binary.Read(r, binary.LittleEndian, &fixed); err != nil {
+			return fmt.Errorf("entry %d header: %w", i, err)
+		}
+		e := &stfEntry{
+			iterations: int(fixed[0]),
+			delivered:  fixed[1],
+			dropped:    fixed[2],
+			inFlight:   fixed[3],
+		}
+		nlinks := fixed[4]
+		if e.iterations < 0 || e.iterations > maxWarmIters {
+			return fmt.Errorf("entry %d: implausible iteration count %d", i, e.iterations)
+		}
+		if nlinks > maxWarmLinks {
+			return fmt.Errorf("entry %d: link count %d exceeds limit", i, nlinks)
+		}
+		e.links = make([]topo.DirLinkID, nlinks)
+		e.linkRoots = make([]uint32, nlinks)
+		for j := uint32(0); j < nlinks; j++ {
+			var l int32
+			if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+				return fmt.Errorf("entry %d link %d: %w", i, j, err)
+			}
+			if l < 0 {
+				return fmt.Errorf("entry %d link %d: negative id", i, j)
+			}
+			if j > 0 && topo.DirLinkID(l) <= e.links[j-1] {
+				return fmt.Errorf("entry %d link %d: ids not ascending", i, j)
+			}
+			e.links[j] = topo.DirLinkID(l)
+			if err := binary.Read(r, binary.LittleEndian, &e.linkRoots[j]); err != nil {
+				return fmt.Errorf("entry %d link root %d: %w", i, j, err)
+			}
+		}
+		snap, err := mtbdd.DecodeSnapshot(r)
+		if err != nil {
+			return fmt.Errorf("entry %d snapshot: %w", i, err)
+		}
+		n := uint32(snap.Len())
+		for _, root := range []uint32{e.delivered, e.dropped, e.inFlight} {
+			if root >= n {
+				return fmt.Errorf("entry %d: root index %d out of range", i, root)
+			}
+		}
+		for j, root := range e.linkRoots {
+			if root >= n {
+				return fmt.Errorf("entry %d link %d: root index %d out of range", i, j, root)
+			}
+		}
+		e.snap = snap
+		if len(entries) < limit {
+			entries[k] = e
+		}
+	}
+	st.mu.Lock()
+	st.entries = entries
+	st.mu.Unlock()
+	return nil
+}

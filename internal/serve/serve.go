@@ -1,0 +1,303 @@
+// Package serve is the incremental verification-as-a-service layer behind
+// cmd/yud (DESIGN.md §14): a resident server that loads a specification
+// once, keeps parsed state, route-sim inputs, and per-class symbolic
+// execution results warm, and re-verifies only what a configuration delta
+// actually dirtied.
+//
+// Three mechanisms make it correct and fast:
+//
+//   - Content-hash invalidation: every equivalence class is keyed by a
+//     128-bit fingerprint of every route-sim output its execution reads
+//     (per-prefix RIB candidates and statics on all routers, the global
+//     IGP and SR state, topology, and failure model — see cache.go and
+//     routesim/hash.go). A delta invalidates exactly the classes whose
+//     fingerprints change; everything else is served from the warm STF
+//     cache via mtbdd.Snapshot replay, which hash-consing makes
+//     indistinguishable from re-execution. Reports are byte-identical to
+//     a cold run — the delta-vs-cold oracle in internal/difftest holds
+//     the daemon to that.
+//   - Versioned immutable snapshots: every accepted reload or delta
+//     publishes a new immutable version (canonical spec text + parsed
+//     spec + lazily computed report). Queries pin one version with a
+//     single atomic load, so concurrent readers never block on a reload
+//     and never observe a half-applied one.
+//   - Warm-state persistence: the STF cache serializes through the
+//     mtbdd.Snapshot codec and cost hints through core.SaveCostHints, so
+//     a restarted daemon resumes warm (persist.go).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/canon"
+	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/obs"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// Config tunes a Server. The zero value verifies each spec under its own
+// failure budget and mode, with no overload checking and no persistence.
+type Config struct {
+	// K overrides the spec's failure budget when > 0.
+	K int
+	// Mode overrides the spec's failure mode when ModeSet is true.
+	Mode    topo.FailureMode
+	ModeSet bool
+	// OverloadFactor, when > 0, additionally checks every directed link
+	// against factor × capacity (mirrors yu.VerifyOptions).
+	OverloadFactor float64
+	// StatePath is a directory for warm state (STF cache + cost hints).
+	// Empty disables persistence.
+	StatePath string
+	// Obs receives the daemon's metrics; nil creates a private registry.
+	Obs *obs.Registry
+	// CacheLimit caps warm-cache entries before a full reset (default
+	// 4096; the reset is counted in serve.cache_evictions).
+	CacheLimit int
+}
+
+// RunStats summarizes one version's verification against the warm cache.
+type RunStats struct {
+	// CacheHits is the number of equivalence classes served from the
+	// warm STF cache; CacheMisses the number symbolically re-executed.
+	CacheHits, CacheMisses int64
+}
+
+// RunResult is the outcome of verifying one version.
+type RunResult struct {
+	// Version identifies the immutable spec version this result belongs
+	// to. Every API response cites exactly one version.
+	Version int64
+	Holds   bool
+	// Text is the canonical report rendering (canon.FormatReport) — the
+	// byte-identity contract surface.
+	Text   string
+	Report *yu.Report
+	Stats  RunStats
+	// Err is the verification error, if the run was cut short.
+	Err error
+}
+
+// version is one immutable published state: canonical spec text, the
+// parsed spec, and the lazily computed verification result. All fields
+// except the once-guarded result are written before publication and never
+// after.
+type version struct {
+	id   int64
+	text string
+	spec *config.Spec
+	srv  *Server
+
+	once   sync.Once
+	result RunResult
+}
+
+// Server is the resident verification service. Mutations (LoadSpecText,
+// ApplyDeltas) serialize on an internal mutex and publish new versions
+// atomically; reads (Report, SpecText) are lock-free on the version
+// pointer and safe to call concurrently with mutations.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *stfStore
+
+	mu     sync.Mutex // serializes mutations and persistence
+	cur    atomic.Pointer[version]
+	nextID atomic.Int64
+
+	hintsMu sync.Mutex
+	hints   map[string]float64
+
+	everRan atomic.Bool
+}
+
+// NewServer creates a server with no loaded spec. If cfg.StatePath is
+// set, persisted warm state is loaded best-effort (corrupt state logs a
+// warning and starts cold, like a corrupt cost-hints file).
+func NewServer(cfg Config) *Server {
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = 4096
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		store: newSTFStore(cfg.CacheLimit),
+		hints: make(map[string]float64),
+	}
+	for _, name := range obs.ServeCounterNames {
+		reg.Counter(name)
+	}
+	if cfg.StatePath != "" {
+		s.loadState()
+	}
+	return s
+}
+
+// Metrics exposes the server's registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Version returns the current version ID (0 before the first load).
+func (s *Server) Version() int64 {
+	if v := s.cur.Load(); v != nil {
+		return v.id
+	}
+	return 0
+}
+
+// SpecText returns the current canonical spec text and its version.
+func (s *Server) SpecText() (string, int64) {
+	v := s.cur.Load()
+	if v == nil {
+		return "", 0
+	}
+	return v.text, v.id
+}
+
+// LoadSpecText parses, canonicalizes, and publishes a full specification,
+// returning the new version ID. The warm cache is kept: content hashing
+// makes stale entries unreachable and shared ones reusable.
+func (s *Server) LoadSpecText(text string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.buildVersion(text)
+	if err != nil {
+		return 0, err
+	}
+	s.publish(v)
+	s.reg.Counter("serve.reloads").Inc()
+	return v.id, nil
+}
+
+// ApplyDeltas applies a sequence of deltas to the current spec as one
+// atomic mutation: all apply, or the current version stays. Returns the
+// new version ID.
+func (s *Server) ApplyDeltas(deltas []Delta) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
+		return 0, fmt.Errorf("serve: no specification loaded")
+	}
+	// Deltas mutate a private re-parse of the canonical text, so the
+	// published version's spec is never aliased.
+	spec, err := config.ParseSpecString(cur.text)
+	if err != nil {
+		return 0, fmt.Errorf("serve: current spec no longer parses: %w", err)
+	}
+	for i, d := range deltas {
+		if err := applyDelta(spec, d); err != nil {
+			s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
+			return 0, fmt.Errorf("serve: delta %d (%s): %w", i, d.Op, err)
+		}
+	}
+	text, err := canon.FormatSpec(spec)
+	if err != nil {
+		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
+		return 0, fmt.Errorf("serve: mutated spec is not canonicalizable: %w", err)
+	}
+	v, err := s.buildVersion(text)
+	if err != nil {
+		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
+		return 0, err
+	}
+	s.publish(v)
+	s.reg.Counter("serve.deltas_applied").Add(int64(len(deltas)))
+	return v.id, nil
+}
+
+// buildVersion parses and canonicalizes text into an unpublished version.
+// The canonical text is the version identity; a spec the canonical
+// renderer cannot express (e.g. asymmetric hand-written link costs) falls
+// back to the raw text.
+func (s *Server) buildVersion(text string) (*version, error) {
+	spec, err := config.ParseSpecString(text)
+	if err != nil {
+		return nil, err
+	}
+	if ct, cerr := canon.FormatSpec(spec); cerr == nil {
+		cspec, perr := config.ParseSpecString(ct)
+		if perr != nil {
+			return nil, fmt.Errorf("serve: canonical spec does not re-parse: %w", perr)
+		}
+		text, spec = ct, cspec
+	}
+	return &version{id: s.nextID.Add(1), text: text, spec: spec, srv: s}, nil
+}
+
+func (s *Server) publish(v *version) {
+	s.cur.Store(v)
+	s.reg.Counter("serve.versions").Inc()
+}
+
+// Report verifies the current version (at most once — concurrent callers
+// share the computation) and returns its result.
+func (s *Server) Report() (RunResult, error) {
+	v := s.cur.Load()
+	if v == nil {
+		return RunResult{}, fmt.Errorf("serve: no specification loaded")
+	}
+	v.run()
+	return v.result, nil
+}
+
+// run computes the version's verification result exactly once.
+func (v *version) run() {
+	v.once.Do(func() {
+		s := v.srv
+		sp := s.reg.Span("verify")
+		defer sp.End()
+		rc := newRunCache(s)
+		rep, err := yu.FromSpec(v.spec).Verify(yu.VerifyOptions{
+			K:              s.cfg.K,
+			Mode:           s.cfg.Mode,
+			ModeSet:        s.cfg.ModeSet,
+			OverloadFactor: s.cfg.OverloadFactor,
+			Workers:        1,
+			Obs:            s.reg,
+			CostHints:      s.copyHints(),
+			STFCache:       rc,
+		})
+		v.result = RunResult{
+			Version: v.id,
+			Report:  rep,
+			Err:     err,
+			Stats:   RunStats{CacheHits: rc.hits, CacheMisses: rc.misses},
+		}
+		if rep != nil {
+			v.result.Holds = rep.Holds
+			v.result.Text = canon.FormatReport(v.spec.Net, rep)
+			s.mergeHints(rep.CostHints)
+		}
+		if err == nil {
+			s.everRan.Store(true)
+		}
+	})
+}
+
+func (s *Server) copyHints() map[string]float64 {
+	s.hintsMu.Lock()
+	defer s.hintsMu.Unlock()
+	out := make(map[string]float64, len(s.hints))
+	for k, c := range s.hints {
+		out[k] = c
+	}
+	return out
+}
+
+func (s *Server) mergeHints(hints map[string]float64) {
+	s.hintsMu.Lock()
+	for k, c := range hints {
+		if c > 0 {
+			s.hints[k] = c
+		}
+	}
+	s.hintsMu.Unlock()
+}

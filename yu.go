@@ -77,6 +77,18 @@ type (
 	// MetricsSnapshot is the serializable view of a Metrics registry —
 	// the payload behind `yu -metrics=json`.
 	MetricsSnapshot = obs.Snapshot
+	// STFCache is the cross-run symbolic-execution cache hook consulted
+	// by the sequential pipeline (VerifyOptions.STFCache). Implementations
+	// must honor the contract documented on core.STFCache; the incremental
+	// daemon (internal/serve) is the canonical one.
+	STFCache = core.STFCache
+	// ExecEngine is the symbolic execution engine handed to STFCache
+	// callbacks (core.Engine; "Exec" avoids clashing with the Engine
+	// selector constant type).
+	ExecEngine = core.Engine
+	// FlowSTF is one flow's symbolic traffic fractions — the value an
+	// STFCache stores and serves.
+	FlowSTF = core.FlowSTF
 )
 
 // NewMetrics returns an empty metrics registry to attach to a run via
@@ -229,6 +241,13 @@ type VerifyOptions struct {
 	// execution costs from a previous run (Report.CostHints). Scheduling
 	// only — verdicts and reports never depend on it.
 	CostHints map[string]float64
+	// STFCache, when non-nil, lets the run reuse symbolic execution
+	// results from previous runs (EngineYU, Workers <= 1 only): each
+	// equivalence class is offered to the cache before execution and
+	// stored after. Soundness is the cache's responsibility — see the
+	// core.STFCache contract. Reports remain byte-identical to uncached
+	// runs when the cache honors it.
+	STFCache STFCache
 }
 
 // Report is the outcome of a verification run.
@@ -442,6 +461,7 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		Configs:               n.spec.Configs,
 		Obs:                   opts.Obs,
 		CostHints:             opts.CostHints,
+		STFCache:              opts.STFCache,
 	})
 	execSpan := opts.Obs.Span("execute")
 	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
