@@ -1,0 +1,224 @@
+// Process-level crash and shutdown tests: a real daemon process killed
+// by an injected crash (os.Exit(86), exactly like a kill -9 between two
+// instructions) must recover its journaled deltas on restart, and a
+// SIGTERM with an in-flight delta must drain it — the batch commits
+// fully or not at all, never torn.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/yu-verify/yu/internal/fault"
+	"github.com/yu-verify/yu/internal/serve"
+)
+
+// TestHelperDaemon is not a test: it is the daemon process body for
+// TestDaemonCrashRecovery, entered only when the parent re-executes the
+// test binary with YUD_HELPER_STATE set. YU_FAULTS in the child's
+// environment arms real (exiting) fault injection.
+func TestHelperDaemon(t *testing.T) {
+	state := os.Getenv("YUD_HELPER_STATE")
+	if state == "" {
+		t.Skip("helper process body, driven by TestDaemonCrashRecovery")
+	}
+	cfg, err := parseDaemonFlags([]string{"-addr", "127.0.0.1:0", "-state", state, testSpec}, flag.ContinueOnError)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(3)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		// The parent scans stdout for the bound address.
+		fmt.Printf("HELPER_ADDR %s\n", <-ready)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(runDaemon(cfg, os.Stderr, ready, sig))
+}
+
+// TestDaemonCrashRecovery kills a real daemon process with an injected
+// crash after a delta batch is journaled but before it is published
+// (exit code 86, the fault handler's signature), then verifies a fresh
+// daemon on the same state directory recovers the batch.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if os.Getenv("YUD_HELPER_STATE") != "" {
+		t.Skip("already inside the helper process")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestHelperDaemon$")
+	cmd.Env = append(os.Environ(),
+		"YUD_HELPER_STATE="+state,
+		"YU_FAULTS=serve.wal.publish:crash@1",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "HELPER_ADDR "); ok {
+				addrCh <- a
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never became ready; stderr:\n%s", stderr.String())
+	}
+
+	// The injected crash fires between the WAL fsync and the publish: the
+	// daemon dies mid-request (the client sees a dropped connection, or in
+	// a tight race an error response — never a success it could not keep).
+	resp, err := http.Post("http://"+addr+"/v1/delta", "application/json",
+		strings.NewReader(`{"deltas":[{"op":"add-static","router":"B","prefix":"55.0.0.0/8","discard":true}]}`))
+	if err == nil {
+		resp.Body.Close()
+	}
+
+	werr := cmd.Wait()
+	ee, ok := werr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("daemon exited with %v, want exit code %d; stderr:\n%s", werr, fault.CrashExitCode, stderr.String())
+	}
+	if code := ee.ExitCode(); code != fault.CrashExitCode {
+		t.Fatalf("daemon exit code %d, want %d; stderr:\n%s", code, fault.CrashExitCode, stderr.String())
+	}
+
+	// Restart on the same state directory: the journaled batch must be
+	// recovered even though the dying daemon never published it.
+	raw, err := os.ReadFile(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(serve.Config{StatePath: state})
+	if _, err := s.LoadSpecText(string(raw)); err != nil {
+		t.Fatal(err)
+	}
+	text, v := s.SpecText()
+	if v != 2 {
+		t.Fatalf("recovered version %d, want 2 (base + 1 replayed batch)", v)
+	}
+	if !strings.Contains(text, "55.0.0.0/8") {
+		t.Fatalf("journaled delta lost across the crash:\n%s", text)
+	}
+}
+
+// TestDaemonGracefulShutdown: a SIGTERM racing an in-flight /v1/delta
+// must drain it — the response is a success, and a restart on the same
+// state directory shows the batch fully applied. A batch whose journal
+// append failed is fully absent. Never a torn state.
+func TestDaemonGracefulShutdown(t *testing.T) {
+	defer fault.Reset()
+	state := t.TempDir()
+	cfg, err := parseDaemonFlags([]string{"-addr", "127.0.0.1:0", "-state", state, testSpec}, flag.ContinueOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	sig := make(chan os.Signal, 1)
+	exited := make(chan int, 1)
+	go func() { exited <- runDaemon(cfg, &stderr, ready, sig) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not become ready; stderr:\n%s", stderr.String())
+	}
+	base := "http://" + addr
+
+	// A batch whose WAL append fails is rejected whole: nothing published,
+	// nothing journaled.
+	if err := fault.Set("serve.wal.append:error@1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/delta", "application/json",
+		strings.NewReader(`{"deltas":[{"op":"add-static","router":"A","prefix":"44.0.0.0/8","discard":true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("journal-failed delta: %d %s", resp.StatusCode, body)
+	}
+
+	// Now hold a delta mid-apply while SIGTERM lands: shutdown must drain
+	// the request, not tear it.
+	if err := fault.Set("serve.delta.apply:delay=400"); err != nil {
+		t.Fatal(err)
+	}
+	deltaDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/delta", "application/json",
+			strings.NewReader(`{"deltas":[{"op":"add-static","router":"B","prefix":"55.0.0.0/8","discard":true}]}`))
+		if err != nil {
+			deltaDone <- -1
+			return
+		}
+		resp.Body.Close()
+		deltaDone <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // the delta is now inside its injected delay
+	sig <- syscall.SIGTERM
+
+	if code := <-deltaDone; code != http.StatusOK {
+		t.Fatalf("in-flight delta during shutdown: status %d, want 200", code)
+	}
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	fault.Reset()
+
+	raw, err := os.ReadFile(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(serve.Config{StatePath: state})
+	if _, err := s.LoadSpecText(string(raw)); err != nil {
+		t.Fatal(err)
+	}
+	text, v := s.SpecText()
+	if v != 2 {
+		t.Fatalf("restarted version %d, want 2 (only the drained batch)", v)
+	}
+	if !strings.Contains(text, "55.0.0.0/8") {
+		t.Fatal("drained batch missing after restart")
+	}
+	if strings.Contains(text, "44.0.0.0/8") {
+		t.Fatal("journal-failed batch resurfaced after restart")
+	}
+}

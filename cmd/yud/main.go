@@ -7,7 +7,8 @@
 // Usage:
 //
 //	yud [-addr HOST:PORT] [-k N] [-mode links|routers|both]
-//	    [-overload FACTOR] [-state DIR] spec.yu
+//	    [-overload FACTOR] [-state DIR] [-max-inflight N]
+//	    [-request-timeout D] [-verify-timeout D] spec.yu
 //
 // API (JSON unless noted):
 //
@@ -22,7 +23,13 @@
 // With -state DIR the warm STF cache and cost hints are persisted on
 // shutdown (and on /v1/save) and restored at startup, so a restarted
 // daemon verifies an unchanged specification without re-executing
-// anything.
+// anything. -state also arms the delta write-ahead log: every accepted
+// delta batch is journaled before it is published, so a crashed daemon
+// restarted on the same spec file replays the journal and resumes at
+// exactly the pre-crash version (DESIGN.md §15).
+//
+// The YU_FAULTS environment variable arms deterministic fault injection
+// (internal/fault) for crash testing; production runs leave it unset.
 package main
 
 import (
@@ -38,17 +45,21 @@ import (
 	"time"
 
 	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/fault"
 	"github.com/yu-verify/yu/internal/serve"
 )
 
 type daemonConfig struct {
-	addr     string
-	k        int
-	mode     yu.FailureMode
-	modeSet  bool
-	overload float64
-	state    string
-	spec     string
+	addr       string
+	k          int
+	mode       yu.FailureMode
+	modeSet    bool
+	overload   float64
+	state      string
+	spec       string
+	inflight   int
+	reqTimeout time.Duration
+	verTimeout time.Duration
 }
 
 // parseDaemonFlags parses and validates yud arguments (same validation
@@ -73,7 +84,10 @@ func parseDaemonFlags(args []string, eh flag.ErrorHandling) (*daemonConfig, erro
 		return nil
 	})
 	fs.Float64Var(&cfg.overload, "overload", 0, "check all links against FACTOR x capacity")
-	fs.StringVar(&cfg.state, "state", "", "directory for persisted warm state (empty = none)")
+	fs.StringVar(&cfg.state, "state", "", "directory for persisted warm state and the delta WAL (empty = none)")
+	fs.IntVar(&cfg.inflight, "max-inflight", 0, "concurrent request limit, beyond it 503 (0 = default 256)")
+	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request deadline before 504 (0 = none)")
+	fs.DurationVar(&cfg.verTimeout, "verify-timeout", 0, "per-version verification budget (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,12 +117,18 @@ func runDaemon(cfg *daemonConfig, stderr io.Writer, ready chan<- string, sig <-c
 	if err != nil {
 		return fail(err)
 	}
+	if fault.Enabled() {
+		fmt.Fprintf(stderr, "yud: fault injection armed: %s\n", fault.Spec())
+	}
 	s := serve.NewServer(serve.Config{
 		K:              cfg.k,
 		Mode:           cfg.mode,
 		ModeSet:        cfg.modeSet,
 		OverloadFactor: cfg.overload,
 		StatePath:      cfg.state,
+		MaxInFlight:    cfg.inflight,
+		RequestTimeout: cfg.reqTimeout,
+		VerifyTimeout:  cfg.verTimeout,
 	})
 	if _, err := s.LoadSpecText(string(text)); err != nil {
 		return fail(err)
@@ -117,7 +137,15 @@ func runDaemon(cfg *daemonConfig, stderr io.Writer, ready chan<- string, sig <-c
 	if err != nil {
 		return fail(err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	// No WriteTimeout: verify responses legitimately take minutes on big
+	// specs; slow *readers* are bounded by the read and idle limits.
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go srv.Serve(ln)
 	fmt.Fprintf(stderr, "yud: serving %s on http://%s\n", cfg.spec, ln.Addr())
 	if ready != nil {

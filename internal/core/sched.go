@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 
@@ -268,13 +269,43 @@ func (v *Verifier) CostHints() map[string]float64 {
 	return out
 }
 
-// SaveCostHints persists a cost-hint map as JSON.
+// SaveCostHints persists a cost-hint map as JSON, crash-safely: the file
+// is written to a temp name, fsync'd, renamed into place, and the
+// directory fsync'd, so a crash mid-save leaves either the old hints or
+// the new — never a truncated file.
 func SaveCostHints(path string, hints map[string]float64) error {
 	data, err := json.MarshalIndent(hints, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(data, '\n'))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadCostHints reads a cost-hint map written by SaveCostHints. A missing

@@ -1,0 +1,337 @@
+// Package fault is a deterministic fault-injection registry for crash
+// and robustness testing (DESIGN.md §15). Production code marks
+// interesting places with named injection points:
+//
+//	if err := fault.Here("serve.wal.append"); err != nil { ... }
+//
+// With no faults armed, a point is a single atomic load — effectively a
+// no-op, safe to leave in hot-ish paths. Faults are armed either through
+// the YU_FAULTS environment variable (read once at init) or through the
+// test API (Set / Reset), with a schedule like:
+//
+//	YU_FAULTS="serve.wal.publish:crash@2,serve.verify.run:delay=50"
+//
+// Each comma-separated rule is point:kind[=arg][@n]:
+//
+//	error        Here returns an error wrapping ErrInjected
+//	panic        Here panics
+//	delay=MS     Here sleeps MS milliseconds (default: every crossing)
+//	crash        the crash handler runs — os.Exit(86) in a real daemon,
+//	             or a panic(Crash{...}) under PanicOnCrash in tests
+//	partial=N    Partial reports N — callers truncate a write to N bytes
+//	             and fail it, simulating a torn write
+//
+// @n arms the rule on the nth crossing of the point (1-based). It
+// defaults to 1 for one-shot kinds (error, panic, crash, partial) and to
+// "every crossing" for delay. The special rule "trace" records every
+// crossing (see StartTrace) — the chaos oracle uses a traced run to
+// enumerate the schedule of injection points a workload actually crosses,
+// then replays the workload crashing at each one.
+//
+// Determinism: rules fire on exact crossing counts of a deterministic
+// workload, never on timers or randomness, so a failing schedule replays
+// exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers and tests can errors.Is-classify failures as synthetic.
+var ErrInjected = errors.New("fault injected")
+
+// Crash is the panic value raised by PanicOnCrash crash handlers. Tests
+// recover it to simulate a process kill in-process; genuine bug panics
+// are never of this type.
+type Crash struct{ Point string }
+
+func (c Crash) String() string { return "fault: crash at " + c.Point }
+
+type kind int
+
+const (
+	kindError kind = iota
+	kindPanic
+	kindDelay
+	kindCrash
+	kindPartial
+)
+
+type rule struct {
+	k     kind
+	arg   int // delay milliseconds, or partial byte count
+	n     int // fire on the nth crossing (1-based); 0 = every crossing
+	hits  int
+	fired bool
+}
+
+var (
+	active atomic.Bool // fast path: any rules armed or tracing on
+
+	mu      sync.Mutex
+	rules   map[string][]*rule
+	tracing bool
+	trace   []string
+	specStr string
+	crashFn func(point string) = defaultCrash
+)
+
+// CrashExitCode is the exit status of the default crash handler, chosen
+// to be distinguishable from every normal daemon exit.
+const CrashExitCode = 86
+
+func defaultCrash(point string) {
+	fmt.Fprintf(os.Stderr, "fault: injected crash at %s\n", point)
+	os.Exit(CrashExitCode)
+}
+
+func init() {
+	if spec := os.Getenv("YU_FAULTS"); spec != "" {
+		if err := Set(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "fault: invalid YU_FAULTS %q: %v (ignored)\n", spec, err)
+		}
+	}
+}
+
+// Enabled reports whether any fault rule or trace is armed. Injection
+// points are free (one atomic load) when it is false.
+func Enabled() bool { return active.Load() }
+
+// Spec returns the rule specification most recently accepted by Set
+// ("" after Reset) — for startup logging.
+func Spec() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return specStr
+}
+
+// Set replaces all armed rules with the parsed specification (see the
+// package comment for the grammar). The crash handler is preserved.
+func Set(spec string) error {
+	parsed := make(map[string][]*rule)
+	traceOn := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "trace" {
+			traceOn = true
+			continue
+		}
+		point, r, err := parseRule(part)
+		if err != nil {
+			return err
+		}
+		parsed[point] = append(parsed[point], r)
+	}
+	mu.Lock()
+	rules = parsed
+	tracing = traceOn
+	trace = nil
+	specStr = spec
+	active.Store(len(rules) > 0 || tracing)
+	mu.Unlock()
+	return nil
+}
+
+func parseRule(part string) (string, *rule, error) {
+	n := -1 // unset
+	if at := strings.LastIndex(part, "@"); at >= 0 {
+		v, err := strconv.Atoi(part[at+1:])
+		if err != nil || v < 1 {
+			return "", nil, fmt.Errorf("fault: bad crossing count in %q", part)
+		}
+		n = v
+		part = part[:at]
+	}
+	colon := strings.LastIndex(part, ":")
+	if colon <= 0 || colon == len(part)-1 {
+		return "", nil, fmt.Errorf("fault: rule %q is not point:kind", part)
+	}
+	point, kindSpec := part[:colon], part[colon+1:]
+	arg := 0
+	if eq := strings.Index(kindSpec, "="); eq >= 0 {
+		v, err := strconv.Atoi(kindSpec[eq+1:])
+		if err != nil || v < 0 {
+			return "", nil, fmt.Errorf("fault: bad argument in %q", part)
+		}
+		arg = v
+		kindSpec = kindSpec[:eq]
+	}
+	r := &rule{arg: arg, n: n}
+	switch kindSpec {
+	case "error":
+		r.k = kindError
+	case "panic":
+		r.k = kindPanic
+	case "delay":
+		r.k = kindDelay
+		if r.n == -1 {
+			r.n = 0 // delays default to every crossing
+		}
+	case "crash":
+		r.k = kindCrash
+	case "partial":
+		r.k = kindPartial
+	default:
+		return "", nil, fmt.Errorf("fault: unknown kind %q in %q", kindSpec, part)
+	}
+	if r.n == -1 {
+		r.n = 1 // one-shot kinds default to the first crossing
+	}
+	return point, r, nil
+}
+
+// Reset disarms every rule and trace. The crash handler is preserved
+// (use SetCrashHandler(nil) to restore the exiting default), so a test
+// that installed PanicOnCrash cannot accidentally re-enable os.Exit.
+func Reset() {
+	mu.Lock()
+	rules = nil
+	tracing = false
+	trace = nil
+	specStr = ""
+	active.Store(false)
+	mu.Unlock()
+}
+
+// SetCrashHandler overrides what a crash rule does (nil restores the
+// default, which exits the process with CrashExitCode).
+func SetCrashHandler(fn func(point string)) {
+	mu.Lock()
+	if fn == nil {
+		fn = defaultCrash
+	}
+	crashFn = fn
+	mu.Unlock()
+}
+
+// PanicOnCrash makes crash rules panic with a Crash value instead of
+// exiting, so tests can simulate a kill and "restart" in-process.
+func PanicOnCrash() {
+	SetCrashHandler(func(point string) { panic(Crash{Point: point}) })
+}
+
+// StartTrace begins recording every crossed injection point (in order,
+// with repeats). Tracing composes with armed rules.
+func StartTrace() {
+	mu.Lock()
+	tracing = true
+	trace = nil
+	active.Store(true)
+	mu.Unlock()
+}
+
+// StopTrace ends recording and returns the crossings observed since
+// StartTrace.
+func StopTrace() []string {
+	mu.Lock()
+	out := trace
+	tracing = false
+	trace = nil
+	active.Store(len(rules) > 0)
+	mu.Unlock()
+	return out
+}
+
+// Here is an injection point. It returns nil (after an optional injected
+// delay), returns an injected error, panics, or crashes, according to
+// the armed rules for the point. With nothing armed it costs one atomic
+// load.
+func Here(point string) error {
+	if !active.Load() {
+		return nil
+	}
+	return slow(point)
+}
+
+func slow(point string) error {
+	mu.Lock()
+	if tracing {
+		trace = append(trace, point)
+	}
+	var fire *rule
+	for _, r := range rules[point] {
+		if r.k == kindPartial {
+			continue // partial rules fire through Partial
+		}
+		r.hits++
+	}
+	for _, r := range rules[point] {
+		if r.k == kindPartial || (r.fired && r.n != 0) {
+			continue
+		}
+		if r.n == 0 || r.hits == r.n {
+			fire = r
+			r.fired = true
+			break
+		}
+	}
+	fn := crashFn
+	mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	switch fire.k {
+	case kindError:
+		return fmt.Errorf("%w at %s", ErrInjected, point)
+	case kindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	case kindDelay:
+		time.Sleep(time.Duration(fire.arg) * time.Millisecond)
+	case kindCrash:
+		fn(point)
+		panic(fmt.Sprintf("fault: crash handler returned at %s", point))
+	}
+	return nil
+}
+
+// TriggerCrash invokes the crash handler unconditionally. Callers use it
+// after acting on a Partial verdict: a torn frame is only observable if
+// the process died mid-write, so writing one implies crashing.
+func TriggerCrash(point string) {
+	mu.Lock()
+	fn := crashFn
+	mu.Unlock()
+	fn(point)
+	panic("fault: crash handler returned at " + point)
+}
+
+// Partial is the injection point for torn writes. When a partial rule
+// fires it returns (N, true): the caller should write only the first N
+// bytes of its buffer and fail the operation with an ErrInjected-wrapped
+// error, leaving a torn frame behind — exactly what a crash mid-write
+// leaves on disk.
+func Partial(point string) (int, bool) {
+	if !active.Load() {
+		return 0, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if tracing {
+		trace = append(trace, point)
+	}
+	for _, r := range rules[point] {
+		if r.k != kindPartial {
+			continue
+		}
+		r.hits++
+		if r.fired && r.n != 0 {
+			continue
+		}
+		if r.n == 0 || r.hits == r.n {
+			r.fired = true
+			return r.arg, true
+		}
+	}
+	return 0, false
+}

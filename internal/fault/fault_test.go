@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Tests share the package-global registry; none may run in parallel.
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with no rules")
+	}
+	if err := Here("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := Partial("nope"); ok || n != 0 {
+		t.Fatalf("partial fired disarmed: %d %v", n, ok)
+	}
+}
+
+func TestErrorAtNthCrossing(t *testing.T) {
+	defer Reset()
+	if err := Set("p.x:error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Here("p.x")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("crossing 3: err = %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("crossing %d: unexpected %v", i, err)
+		}
+	}
+}
+
+func TestPanicAndOtherPointsUnaffected(t *testing.T) {
+	defer Reset()
+	if err := Set("p.y:panic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Here("p.other"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Here("p.y")
+}
+
+func TestDelayEveryCrossing(t *testing.T) {
+	defer Reset()
+	if err := Set("p.d:delay=10"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := Here("p.d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("two delayed crossings took only %v", elapsed)
+	}
+}
+
+func TestCrashHandlerAndReset(t *testing.T) {
+	defer Reset()
+	defer SetCrashHandler(nil)
+	PanicOnCrash()
+	if err := Set("p.c:crash@2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Here("p.c"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			c, ok := recover().(Crash)
+			if !ok || c.Point != "p.c" {
+				t.Fatalf("recover = %#v", c)
+			}
+		}()
+		Here("p.c")
+	}()
+	// Reset disarms rules but keeps the panicking handler installed.
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled after Reset")
+	}
+	if err := Here("p.c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartial(t *testing.T) {
+	defer Reset()
+	if err := Set("p.w:partial=7@2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Partial("p.w"); ok {
+		t.Fatal("partial fired on first crossing with @2")
+	}
+	n, ok := Partial("p.w")
+	if !ok || n != 7 {
+		t.Fatalf("partial = %d, %v", n, ok)
+	}
+	if _, ok := Partial("p.w"); ok {
+		t.Fatal("one-shot partial fired twice")
+	}
+	// Here on a partial-only point never fires the rule.
+	if err := Here("p.w"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	defer Reset()
+	StartTrace()
+	Here("a")
+	Here("b")
+	Partial("w")
+	Here("a")
+	got := StopTrace()
+	want := []string{"a", "b", "w", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+	if Enabled() {
+		t.Fatal("still enabled after StopTrace with no rules")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{"nocolon", "p:", ":error", "p:boom", "p:error@0", "p:error@x", "p:delay=-1"} {
+		if err := Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	// A failed Set must not leave stale rules armed.
+	if err := Set("p.ok:error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Set("broken"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if !errors.Is(Here("p.ok"), ErrInjected) {
+		t.Fatal("valid rule from before failed Set should still be armed")
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+
+	"github.com/yu-verify/yu/internal/fault"
 )
 
 // On-disk snapshot format (little-endian):
@@ -14,6 +17,11 @@ import (
 //	count    uint32   number of nodes
 //	maxLevel int32    highest tested variable (-1 if all terminals)
 //	entries  count × (level int32, valueBits uint64, lo uint32, hi uint32)
+//	crc      uint32   crc32(IEEE) over count, maxLevel, and all entries
+//
+// The CRC trailer turns silent corruption (a flipped bit that happens to
+// survive structural validation) into a decode error; the daemon treats
+// any decode error as a cold start, never a wrong answer.
 //
 // The entry order is the children-first order NewSnapshot produced, so a
 // decoded snapshot replays through ImportSnapshot exactly like the
@@ -32,6 +40,9 @@ const maxSnapshotNodes = 1 << 28
 
 // Encode writes the snapshot in the binary on-disk format.
 func (s *Snapshot) Encode(w io.Writer) error {
+	if err := fault.Here("mtbdd.snapshot.encode"); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
@@ -42,6 +53,7 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
+	sum := crc32.ChecksumIEEE(hdr[:])
 	var ent [20]byte
 	for i := range s.level {
 		binary.LittleEndian.PutUint32(ent[0:4], uint32(s.level[i]))
@@ -51,6 +63,12 @@ func (s *Snapshot) Encode(w io.Writer) error {
 		if _, err := bw.Write(ent[:]); err != nil {
 			return err
 		}
+		sum = crc32.Update(sum, crc32.IEEETable, ent[:])
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -60,6 +78,9 @@ func (s *Snapshot) Encode(w io.Writer) error {
 // (Index returns false for every node); consumers address entries by
 // position, as the daemon's STF cache does.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	if err := fault.Here("mtbdd.snapshot.decode"); err != nil {
+		return nil, err
+	}
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -72,6 +93,7 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("mtbdd: snapshot header: %w", err)
 	}
+	sum := crc32.ChecksumIEEE(hdr[:])
 	count := binary.LittleEndian.Uint32(hdr[0:4])
 	maxLevel := int32(binary.LittleEndian.Uint32(hdr[4:8]))
 	if count > maxSnapshotNodes {
@@ -92,6 +114,7 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		if _, err := io.ReadFull(br, ent[:]); err != nil {
 			return nil, fmt.Errorf("mtbdd: snapshot truncated at node %d/%d: %w", i, count, err)
 		}
+		sum = crc32.Update(sum, crc32.IEEETable, ent[:])
 		level := int32(binary.LittleEndian.Uint32(ent[0:4]))
 		value := math.Float64frombits(binary.LittleEndian.Uint64(ent[4:12]))
 		lo := binary.LittleEndian.Uint32(ent[12:16])
@@ -133,6 +156,13 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	if s.maxLevel != maxLevel {
 		return nil, fmt.Errorf("mtbdd: snapshot header maxLevel %d, computed %d", maxLevel, s.maxLevel)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("mtbdd: snapshot checksum trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+		return nil, fmt.Errorf("mtbdd: snapshot checksum mismatch (frame %08x, computed %08x)", got, sum)
 	}
 	// A trailing byte means the stream holds more than one snapshot frame
 	// or is corrupt; the caller owns framing, so stop exactly at the end

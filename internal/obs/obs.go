@@ -303,4 +303,11 @@ var ServeCounterNames = []string{
 	"serve.deltas_rejected",    // rejected delta operations (invalid op or target)
 	"serve.versions",           // versions published (initial load included)
 	"serve.cache_evictions",    // warm-cache resets after exceeding the entry cap
+	"serve.wal_records",        // delta batches journaled to the WAL
+	"serve.wal_replayed",       // batches replayed from the WAL at startup
+	"serve.wal_truncated",      // torn or corrupt WAL tails truncated away
+	"serve.wal_errors",         // WAL append failures (the batch was refused)
+	"serve.panics",             // verification panics recovered by the daemon
+	"serve.rejected",           // requests refused by admission control (503)
+	"serve.timeouts",           // requests that hit their deadline (504)
 }

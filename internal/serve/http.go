@@ -2,17 +2,25 @@
 // serves with a single atomic load (directly or through the Server
 // accessors), so each response cites exactly one version even while
 // reloads and deltas race it.
+//
+// Handler wraps the mux in a robustness stack (outermost first):
+// panic recovery (500, process survives), admission control (bounded
+// in-flight requests, 503 + Retry-After beyond MaxInFlight), and a
+// per-request deadline (requests answer 504 when RequestTimeout
+// elapses; the underlying verification keeps running and is shared
+// with later requests). Bodies beyond MaxBodyBytes answer 413.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
-)
 
-// maxBodyBytes bounds request bodies (spec texts and delta batches).
-const maxBodyBytes = 16 << 20
+	"github.com/yu-verify/yu/internal/fault"
+)
 
 // verifyRequest is the optional POST /v1/verify body.
 type verifyRequest struct {
@@ -55,7 +63,9 @@ type errorResponse struct {
 //	GET  /v1/spec     canonical spec text (X-Yu-Version header)
 //	GET  /v1/metrics  obs registry snapshot
 //	POST /v1/save     persist warm state now
-//	GET  /v1/healthz  liveness + current version
+//	GET  /v1/healthz  liveness + current version (exempt from admission
+//	                  control and the request deadline, so probes stay
+//	                  honest under load)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/verify", s.handleVerify)
@@ -64,8 +74,69 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/spec", s.handleSpec)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/save", s.handleSave)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	return mux
+	healthz := http.HandlerFunc(s.handleHealthz)
+	mux.Handle("/v1/healthz", healthz)
+	return s.recoverPanics(s.admit(healthz, s.withDeadline(mux)))
+}
+
+// recoverPanics is the outermost middleware: a panicking handler (or an
+// injected fault) answers 500 and the daemon keeps serving.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if c, ok := rec.(fault.Crash); ok {
+					panic(c) // simulated process kills must not be absorbed
+				}
+				if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(rec)
+				}
+				s.reg.Counter("serve.panics").Inc()
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("serve: handler panic: %v", rec))
+			}
+		}()
+		if err := fault.Here("serve.http.request"); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit bounds concurrently served requests to MaxInFlight. Beyond the
+// bound, requests answer 503 with Retry-After — load shedding at the
+// door, so a burst of expensive verifies cannot pile up goroutines.
+// Health probes bypass the gate.
+func (s *Server) admit(healthz, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			healthz.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			s.reg.Counter("serve.rejected").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: too many in-flight requests (limit %d)", s.cfg.MaxInFlight))
+		}
+	})
+}
+
+// withDeadline attaches the per-request deadline to the request context.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -80,9 +151,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return false
 	}
@@ -94,6 +171,20 @@ func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// writeReport renders a ReportCtx outcome: 504 when the request deadline
+// cut the wait short, 409 when no spec is loaded.
+func writeReport(w http.ResponseWriter, res RunResult, err error) {
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResultJSON(res))
 }
 
 func runResultJSON(res RunResult) reportResponse {
@@ -116,7 +207,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req verifyRequest
-	if !readBody(w, r, &req) {
+	if !s.readBody(w, r, &req) {
 		return
 	}
 	if req.Spec != "" {
@@ -125,12 +216,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.Report()
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, runResultJSON(res))
+	res, err := s.ReportCtx(r.Context())
+	writeReport(w, res, err)
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
@@ -139,7 +226,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req deltaRequest
-	if !readBody(w, r, &req) {
+	if !s.readBody(w, r, &req) {
 		return
 	}
 	if len(req.Deltas) == 0 {
@@ -152,12 +239,8 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Verify {
-		res, err := s.Report()
-		if err != nil {
-			writeError(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, runResultJSON(res))
+		res, err := s.ReportCtx(r.Context())
+		writeReport(w, res, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, versionResponse{Version: id})
@@ -168,12 +251,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	res, err := s.Report()
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, runResultJSON(res))
+	res, err := s.ReportCtx(r.Context())
+	writeReport(w, res, err)
 }
 
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {

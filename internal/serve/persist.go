@@ -1,15 +1,20 @@
 // Warm-state persistence: the STF cache (through the mtbdd.Snapshot
 // codec) and cost hints are written to cfg.StatePath so a restarted
-// daemon resumes warm. Loading is best-effort — corrupt or stale state
-// logs a warning and starts cold, mirroring core.LoadCostHints: warm
-// state is a latency aid, never a correctness input (content-hash keys
-// make a wrong entry unreachable, and Lookup shape-checks survivors).
+// daemon resumes warm. Writes are crash-safe — tmp file, fsync, atomic
+// rename, directory fsync — and every YUWARM1 entry is a CRC-framed
+// block, so a torn or bit-flipped file is detected, logged, and ignored.
+// Loading is best-effort: corrupt or stale state starts cold, mirroring
+// core.LoadCostHints — warm state is a latency aid, never a correctness
+// input (content-hash keys make a wrong entry unreachable, and Lookup
+// shape-checks survivors).
 package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log"
 	"os"
@@ -17,6 +22,7 @@ import (
 	"sort"
 
 	"github.com/yu-verify/yu/internal/core"
+	"github.com/yu-verify/yu/internal/fault"
 	"github.com/yu-verify/yu/internal/mtbdd"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -28,7 +34,56 @@ const (
 	maxWarmEntries = 1 << 20
 	maxWarmLinks   = 1 << 24
 	maxWarmIters   = 1 << 24
+	maxWarmFrame   = 1 << 28
 )
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable — without this, a crash after rename can resurrect the old
+// file (or nothing) on some filesystems.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// atomicWrite writes a file crash-safely: tmp file in the same
+// directory, fsync, close, rename over path, fsync the directory.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = write(w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fault.Here("serve.persist.rename")
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
 
 // SaveState persists the warm cache and cost hints to cfg.StatePath.
 // No-op (nil) when persistence is disabled.
@@ -38,31 +93,16 @@ func (s *Server) SaveState() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := fault.Here("serve.persist.begin"); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(s.cfg.StatePath, 0o755); err != nil {
 		return err
 	}
 	if err := core.SaveCostHints(filepath.Join(s.cfg.StatePath, warmHintsFile), s.copyHints()); err != nil {
 		return err
 	}
-	path := filepath.Join(s.cfg.StatePath, warmCacheFile)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriter(f)
-	err = s.store.encode(w)
-	if err == nil {
-		err = w.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWrite(filepath.Join(s.cfg.StatePath, warmCacheFile), s.store.encode)
 }
 
 // loadState restores persisted warm state. Never fails the caller.
@@ -90,9 +130,10 @@ func (s *Server) loadState() {
 	}
 }
 
-// encode writes the store: magic, entry count, then per entry the key,
-// STF shape, and the embedded MTBDD snapshot frame. Keys are written in
-// sorted order so equal stores serialize identically.
+// encode writes the store: magic, entry count, then one CRC-framed block
+// per entry (u32 length | payload | u32 crc32), the payload holding the
+// key, STF shape, and the embedded MTBDD snapshot frame. Keys are
+// written in sorted order so equal stores serialize identically.
 func (st *stfStore) encode(w io.Writer) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -112,33 +153,47 @@ func (st *stfStore) encode(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(keys))); err != nil {
 		return err
 	}
+	var buf bytes.Buffer
 	for _, k := range keys {
-		e := st.entries[k]
-		hdr := []uint64{k.a, k.b}
-		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		buf.Reset()
+		if err := encodeEntry(&buf, k, st.entries[k]); err != nil {
 			return err
 		}
-		fixed := []uint32{uint32(e.iterations), e.delivered, e.dropped, e.inFlight, uint32(len(e.links))}
-		if err := binary.Write(w, binary.LittleEndian, fixed); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint32(buf.Len())); err != nil {
 			return err
 		}
-		for i, l := range e.links {
-			if err := binary.Write(w, binary.LittleEndian, int32(l)); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, e.linkRoots[i]); err != nil {
-				return err
-			}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
 		}
-		if err := e.snap.Encode(w); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes())); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// decode replaces the store's contents from an encode stream, validating
-// every count and root index before accepting an entry.
+func encodeEntry(w io.Writer, k cacheKey, e *stfEntry) error {
+	if err := binary.Write(w, binary.LittleEndian, []uint64{k.a, k.b}); err != nil {
+		return err
+	}
+	fixed := []uint32{uint32(e.iterations), e.delivered, e.dropped, e.inFlight, uint32(len(e.links))}
+	if err := binary.Write(w, binary.LittleEndian, fixed); err != nil {
+		return err
+	}
+	for i, l := range e.links {
+		if err := binary.Write(w, binary.LittleEndian, int32(l)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, e.linkRoots[i]); err != nil {
+			return err
+		}
+	}
+	return e.snap.Encode(w)
+}
+
+// decode replaces the store's contents from an encode stream: each
+// entry's frame checksum is verified before its payload is parsed, and
+// every count and root index is validated before an entry is accepted.
 func (st *stfStore) decode(r io.Reader, limit int) error {
 	magic := make([]byte, len(warmMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -156,64 +211,28 @@ func (st *stfStore) decode(r io.Reader, limit int) error {
 	}
 	entries := make(map[cacheKey]*stfEntry, count)
 	for i := uint32(0); i < count; i++ {
-		var k cacheKey
-		if err := binary.Read(r, binary.LittleEndian, &k.a); err != nil {
-			return fmt.Errorf("entry %d key: %w", i, err)
+		var flen uint32
+		if err := binary.Read(r, binary.LittleEndian, &flen); err != nil {
+			return fmt.Errorf("entry %d frame length: %w", i, err)
 		}
-		if err := binary.Read(r, binary.LittleEndian, &k.b); err != nil {
-			return fmt.Errorf("entry %d key: %w", i, err)
+		if flen > maxWarmFrame {
+			return fmt.Errorf("entry %d: frame length %d exceeds limit", i, flen)
 		}
-		var fixed [5]uint32
-		if err := binary.Read(r, binary.LittleEndian, &fixed); err != nil {
-			return fmt.Errorf("entry %d header: %w", i, err)
+		payload := make([]byte, flen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("entry %d frame: %w", i, err)
 		}
-		e := &stfEntry{
-			iterations: int(fixed[0]),
-			delivered:  fixed[1],
-			dropped:    fixed[2],
-			inFlight:   fixed[3],
+		var sum uint32
+		if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+			return fmt.Errorf("entry %d checksum: %w", i, err)
 		}
-		nlinks := fixed[4]
-		if e.iterations < 0 || e.iterations > maxWarmIters {
-			return fmt.Errorf("entry %d: implausible iteration count %d", i, e.iterations)
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return fmt.Errorf("entry %d: checksum mismatch (frame %08x, computed %08x)", i, sum, got)
 		}
-		if nlinks > maxWarmLinks {
-			return fmt.Errorf("entry %d: link count %d exceeds limit", i, nlinks)
-		}
-		e.links = make([]topo.DirLinkID, nlinks)
-		e.linkRoots = make([]uint32, nlinks)
-		for j := uint32(0); j < nlinks; j++ {
-			var l int32
-			if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
-				return fmt.Errorf("entry %d link %d: %w", i, j, err)
-			}
-			if l < 0 {
-				return fmt.Errorf("entry %d link %d: negative id", i, j)
-			}
-			if j > 0 && topo.DirLinkID(l) <= e.links[j-1] {
-				return fmt.Errorf("entry %d link %d: ids not ascending", i, j)
-			}
-			e.links[j] = topo.DirLinkID(l)
-			if err := binary.Read(r, binary.LittleEndian, &e.linkRoots[j]); err != nil {
-				return fmt.Errorf("entry %d link root %d: %w", i, j, err)
-			}
-		}
-		snap, err := mtbdd.DecodeSnapshot(r)
+		k, e, err := decodeEntry(bytes.NewReader(payload))
 		if err != nil {
-			return fmt.Errorf("entry %d snapshot: %w", i, err)
+			return fmt.Errorf("entry %d: %w", i, err)
 		}
-		n := uint32(snap.Len())
-		for _, root := range []uint32{e.delivered, e.dropped, e.inFlight} {
-			if root >= n {
-				return fmt.Errorf("entry %d: root index %d out of range", i, root)
-			}
-		}
-		for j, root := range e.linkRoots {
-			if root >= n {
-				return fmt.Errorf("entry %d link %d: root index %d out of range", i, j, root)
-			}
-		}
-		e.snap = snap
 		if len(entries) < limit {
 			entries[k] = e
 		}
@@ -222,4 +241,66 @@ func (st *stfStore) decode(r io.Reader, limit int) error {
 	st.entries = entries
 	st.mu.Unlock()
 	return nil
+}
+
+func decodeEntry(r io.Reader) (cacheKey, *stfEntry, error) {
+	var k cacheKey
+	if err := binary.Read(r, binary.LittleEndian, &k.a); err != nil {
+		return k, nil, fmt.Errorf("key: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &k.b); err != nil {
+		return k, nil, fmt.Errorf("key: %w", err)
+	}
+	var fixed [5]uint32
+	if err := binary.Read(r, binary.LittleEndian, &fixed); err != nil {
+		return k, nil, fmt.Errorf("header: %w", err)
+	}
+	e := &stfEntry{
+		iterations: int(fixed[0]),
+		delivered:  fixed[1],
+		dropped:    fixed[2],
+		inFlight:   fixed[3],
+	}
+	nlinks := fixed[4]
+	if e.iterations < 0 || e.iterations > maxWarmIters {
+		return k, nil, fmt.Errorf("implausible iteration count %d", e.iterations)
+	}
+	if nlinks > maxWarmLinks {
+		return k, nil, fmt.Errorf("link count %d exceeds limit", nlinks)
+	}
+	e.links = make([]topo.DirLinkID, nlinks)
+	e.linkRoots = make([]uint32, nlinks)
+	for j := uint32(0); j < nlinks; j++ {
+		var l int32
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return k, nil, fmt.Errorf("link %d: %w", j, err)
+		}
+		if l < 0 {
+			return k, nil, fmt.Errorf("link %d: negative id", j)
+		}
+		if j > 0 && topo.DirLinkID(l) <= e.links[j-1] {
+			return k, nil, fmt.Errorf("link %d: ids not ascending", j)
+		}
+		e.links[j] = topo.DirLinkID(l)
+		if err := binary.Read(r, binary.LittleEndian, &e.linkRoots[j]); err != nil {
+			return k, nil, fmt.Errorf("link root %d: %w", j, err)
+		}
+	}
+	snap, err := mtbdd.DecodeSnapshot(r)
+	if err != nil {
+		return k, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	n := uint32(snap.Len())
+	for _, root := range []uint32{e.delivered, e.dropped, e.inFlight} {
+		if root >= n {
+			return k, nil, fmt.Errorf("root index %d out of range", root)
+		}
+	}
+	for j, root := range e.linkRoots {
+		if root >= n {
+			return k, nil, fmt.Errorf("link %d: root index %d out of range", j, root)
+		}
+	}
+	e.snap = snap
+	return k, e, nil
 }

@@ -21,19 +21,27 @@
 //     spec + lazily computed report). Queries pin one version with a
 //     single atomic load, so concurrent readers never block on a reload
 //     and never observe a half-applied one.
-//   - Warm-state persistence: the STF cache serializes through the
-//     mtbdd.Snapshot codec and cost hints through core.SaveCostHints, so
-//     a restarted daemon resumes warm (persist.go).
+//   - Crash consistency (DESIGN.md §15): with a state directory, every
+//     accepted delta batch is journaled to a checksummed write-ahead log
+//     (wal.go) before it is published, and replayed at startup — a
+//     killed daemon restarted on the same spec file reconstructs exactly
+//     the pre-crash version. The warm STF cache and cost hints persist
+//     through fsync'd atomic renames (persist.go) as a latency aid;
+//     corrupt warm state starts cold, never wrong.
 package serve
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/yu-verify/yu"
 	"github.com/yu-verify/yu/internal/canon"
 	"github.com/yu-verify/yu/internal/config"
+	"github.com/yu-verify/yu/internal/fault"
 	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -49,14 +57,30 @@ type Config struct {
 	// OverloadFactor, when > 0, additionally checks every directed link
 	// against factor × capacity (mirrors yu.VerifyOptions).
 	OverloadFactor float64
-	// StatePath is a directory for warm state (STF cache + cost hints).
-	// Empty disables persistence.
+	// StatePath is a directory for durable state: the delta WAL plus the
+	// warm STF cache and cost hints. Empty disables persistence (and with
+	// it crash recovery of deltas).
 	StatePath string
 	// Obs receives the daemon's metrics; nil creates a private registry.
 	Obs *obs.Registry
 	// CacheLimit caps warm-cache entries before a full reset (default
 	// 4096; the reset is counted in serve.cache_evictions).
 	CacheLimit int
+	// VerifyTimeout, when > 0, bounds each version's verification run via
+	// the governance deadline (yu.VerifyOptions.Ctx): an over-budget run
+	// yields an INCOMPLETE partial report instead of hanging the daemon.
+	VerifyTimeout time.Duration
+	// RequestTimeout, when > 0, bounds how long an HTTP request waits for
+	// a result before answering 504 (the computation itself continues and
+	// is shared with later requests).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently admitted HTTP requests; excess
+	// requests are refused with 503 + Retry-After and counted in
+	// serve.rejected. Default 256. /v1/healthz is exempt.
+	MaxInFlight int
+	// MaxBodyBytes bounds HTTP request bodies (default 16 MiB); larger
+	// bodies are refused with 413.
+	MaxBodyBytes int64
 }
 
 // RunStats summarizes one version's verification against the warm cache.
@@ -92,6 +116,7 @@ type version struct {
 	srv  *Server
 
 	once   sync.Once
+	done   chan struct{}
 	result RunResult
 }
 
@@ -107,6 +132,9 @@ type Server struct {
 	mu     sync.Mutex // serializes mutations and persistence
 	cur    atomic.Pointer[version]
 	nextID atomic.Int64
+	wal    *wal
+
+	inflight chan struct{}
 
 	hintsMu sync.Mutex
 	hints   map[string]float64
@@ -116,20 +144,28 @@ type Server struct {
 
 // NewServer creates a server with no loaded spec. If cfg.StatePath is
 // set, persisted warm state is loaded best-effort (corrupt state logs a
-// warning and starts cold, like a corrupt cost-hints file).
+// warning and starts cold, like a corrupt cost-hints file); the delta
+// WAL is attached and replayed on the first LoadSpecText.
 func NewServer(cfg Config) *Server {
 	if cfg.CacheLimit <= 0 {
 		cfg.CacheLimit = 4096
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
 	}
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.New()
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		store: newSTFStore(cfg.CacheLimit),
-		hints: make(map[string]float64),
+		cfg:      cfg,
+		reg:      reg,
+		store:    newSTFStore(cfg.CacheLimit),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		hints:    make(map[string]float64),
 	}
 	for _, name := range obs.ServeCounterNames {
 		reg.Counter(name)
@@ -161,8 +197,16 @@ func (s *Server) SpecText() (string, int64) {
 }
 
 // LoadSpecText parses, canonicalizes, and publishes a full specification,
-// returning the new version ID. The warm cache is kept: content hashing
-// makes stale entries unreachable and shared ones reusable.
+// returning the ID of the version now current. The warm cache is kept:
+// content hashing makes stale entries unreachable and shared ones
+// reusable.
+//
+// With a state directory, the first load after construction is the
+// recovery point: if the delta WAL on disk is bound to this base text,
+// every committed batch is replayed on top of it (returning the replayed
+// head's ID — the exact pre-crash version). Any later load, and any
+// first load with a different base, resets the WAL: a full reload
+// supersedes the journal.
 func (s *Server) LoadSpecText(text string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -170,44 +214,161 @@ func (s *Server) LoadSpecText(text string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	first := s.cur.Load() == nil
 	s.publish(v)
 	s.reg.Counter("serve.reloads").Inc()
-	return v.id, nil
+	if s.cfg.StatePath != "" {
+		if s.wal == nil {
+			w, werr := openWAL(s.cfg.StatePath)
+			if werr != nil {
+				log.Printf("yud: delta WAL: %v; running without crash recovery", werr)
+				s.reg.Counter("serve.wal_errors").Inc()
+			}
+			s.wal = w
+		}
+		if s.wal != nil {
+			if first {
+				s.recoverWAL(v)
+			} else if err := s.wal.reset(v.text); err != nil {
+				log.Printf("yud: resetting delta WAL: %v; closing it", err)
+				s.reg.Counter("serve.wal_errors").Inc()
+				s.wal.close()
+				s.wal = nil
+			}
+		}
+	}
+	return s.Version(), nil
 }
 
-// ApplyDeltas applies a sequence of deltas to the current spec as one
-// atomic mutation: all apply, or the current version stays. Returns the
-// new version ID.
-func (s *Server) ApplyDeltas(deltas []Delta) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur := s.cur.Load()
-	if cur == nil {
-		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
-		return 0, fmt.Errorf("serve: no specification loaded")
-	}
-	// Deltas mutate a private re-parse of the canonical text, so the
-	// published version's spec is never aliased.
-	spec, err := config.ParseSpecString(cur.text)
+// recoverWAL replays the journal on top of the just-published base
+// version (caller holds s.mu). Replay is exact or it stops: every
+// record's deltas must re-apply and reproduce the canonical text whose
+// checksum was journaled with the batch; the first record that cannot —
+// torn tail, corruption, or divergence — truncates the journal there, so
+// recovery yields precisely the longest committed prefix.
+func (s *Server) recoverWAL(base *version) {
+	recs, offs, matched, torn, err := s.wal.load(base.text)
 	if err != nil {
-		return 0, fmt.Errorf("serve: current spec no longer parses: %w", err)
+		log.Printf("yud: reading delta WAL: %v; resetting it", err)
+		s.reg.Counter("serve.wal_errors").Inc()
+		s.resetOrDropWAL(base.text)
+		return
+	}
+	if torn {
+		log.Printf("yud: delta WAL had a torn or corrupt tail; truncated")
+		s.reg.Counter("serve.wal_truncated").Inc()
+	}
+	if !matched {
+		s.resetOrDropWAL(base.text)
+		return
+	}
+	replayed := 0
+	for i, rec := range recs {
+		bad := func(why string, args ...any) {
+			log.Printf("yud: delta WAL replay stopped at record %d: "+why, append([]any{i}, args...)...)
+			s.reg.Counter("serve.wal_truncated").Inc()
+			if terr := s.wal.truncateTo(offs[i]); terr != nil {
+				log.Printf("yud: truncating delta WAL: %v; closing it", terr)
+				s.wal.close()
+				s.wal = nil
+			}
+		}
+		if err := fault.Here("serve.wal.replay"); err != nil {
+			bad("%v", err)
+			return
+		}
+		cur := s.cur.Load()
+		text, err := ApplyToText(cur.text, rec.Deltas)
+		if err != nil {
+			bad("%v", err)
+			return
+		}
+		if uint32(len(text)) != rec.ResultLen || walTextSum(text) != rec.ResultSum {
+			bad("replayed text does not match journaled checksum")
+			return
+		}
+		v, err := s.buildVersion(text)
+		if err != nil {
+			bad("%v", err)
+			return
+		}
+		s.publish(v)
+		replayed++
+	}
+	if replayed > 0 {
+		log.Printf("yud: replayed %d delta batch(es) from the WAL; current version is the pre-crash state", replayed)
+		s.reg.Counter("serve.wal_replayed").Add(int64(replayed))
+	}
+}
+
+func (s *Server) resetOrDropWAL(baseText string) {
+	if err := s.wal.reset(baseText); err != nil {
+		log.Printf("yud: resetting delta WAL: %v; closing it", err)
+		s.reg.Counter("serve.wal_errors").Inc()
+		s.wal.close()
+		s.wal = nil
+	}
+}
+
+// ApplyToText applies a delta batch to a canonical spec text and returns
+// the canonical text of the result — the pure mutation function shared
+// by ApplyDeltas, WAL replay, and the chaos oracle, so every path that
+// materializes "base + deltas" agrees byte-for-byte.
+func ApplyToText(text string, deltas []Delta) (string, error) {
+	spec, err := config.ParseSpecString(text)
+	if err != nil {
+		return "", fmt.Errorf("serve: current spec no longer parses: %w", err)
 	}
 	for i, d := range deltas {
 		if err := applyDelta(spec, d); err != nil {
-			s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
-			return 0, fmt.Errorf("serve: delta %d (%s): %w", i, d.Op, err)
+			return "", fmt.Errorf("serve: delta %d (%s): %w", i, d.Op, err)
 		}
 	}
-	text, err := canon.FormatSpec(spec)
+	out, err := canon.FormatSpec(spec)
 	if err != nil {
-		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
-		return 0, fmt.Errorf("serve: mutated spec is not canonicalizable: %w", err)
+		return "", fmt.Errorf("serve: mutated spec is not canonicalizable: %w", err)
 	}
-	v, err := s.buildVersion(text)
-	if err != nil {
+	return out, nil
+}
+
+// ApplyDeltas applies a sequence of deltas to the current spec as one
+// atomic mutation: all apply, or the current version stays. With a state
+// directory the batch is journaled and fsync'd before it is published —
+// the journal append is the commit point, so a crash on either side of
+// it leaves the batch either fully recoverable or fully absent. Returns
+// the new version ID.
+func (s *Server) ApplyDeltas(deltas []Delta) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reject := func(err error) (int64, error) {
 		s.reg.Counter("serve.deltas_rejected").Add(int64(len(deltas)))
 		return 0, err
 	}
+	cur := s.cur.Load()
+	if cur == nil {
+		return reject(fmt.Errorf("serve: no specification loaded"))
+	}
+	if err := fault.Here("serve.delta.apply"); err != nil {
+		return reject(err)
+	}
+	text, err := ApplyToText(cur.text, deltas)
+	if err != nil {
+		return reject(err)
+	}
+	v, err := s.buildVersion(text)
+	if err != nil {
+		return reject(err)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(deltas, v.text); err != nil {
+			s.reg.Counter("serve.wal_errors").Inc()
+			return reject(fmt.Errorf("serve: journaling delta batch: %w", err))
+		}
+		s.reg.Counter("serve.wal_records").Inc()
+	}
+	// Crash-only injection point: the batch is durable but unpublished —
+	// recovery must still surface it (any error kind here is ignored).
+	fault.Here("serve.wal.publish")
 	s.publish(v)
 	s.reg.Counter("serve.deltas_applied").Add(int64(len(deltas)))
 	return v.id, nil
@@ -229,7 +390,7 @@ func (s *Server) buildVersion(text string) (*version, error) {
 		}
 		text, spec = ct, cspec
 	}
-	return &version{id: s.nextID.Add(1), text: text, spec: spec, srv: s}, nil
+	return &version{id: s.nextID.Add(1), text: text, spec: spec, srv: s, done: make(chan struct{})}, nil
 }
 
 func (s *Server) publish(v *version) {
@@ -240,46 +401,89 @@ func (s *Server) publish(v *version) {
 // Report verifies the current version (at most once — concurrent callers
 // share the computation) and returns its result.
 func (s *Server) Report() (RunResult, error) {
+	return s.ReportCtx(context.Background())
+}
+
+// ReportCtx is Report bounded by a caller context: it waits for the
+// pinned version's (shared, at-most-once) verification until ctx
+// expires. The computation itself is not canceled by ctx — it keeps its
+// own VerifyTimeout budget and later callers reuse it.
+func (s *Server) ReportCtx(ctx context.Context) (RunResult, error) {
 	v := s.cur.Load()
 	if v == nil {
 		return RunResult{}, fmt.Errorf("serve: no specification loaded")
 	}
-	v.run()
-	return v.result, nil
+	v.start()
+	select {
+	case <-v.done:
+		return v.result, nil
+	case <-ctx.Done():
+		s.reg.Counter("serve.timeouts").Inc()
+		return RunResult{}, fmt.Errorf("serve: waiting for verification of version %d: %w", v.id, ctx.Err())
+	}
 }
 
-// run computes the version's verification result exactly once.
-func (v *version) run() {
+// start kicks off the version's verification exactly once, on its own
+// goroutine so callers can bound their wait.
+func (v *version) start() {
 	v.once.Do(func() {
-		s := v.srv
-		sp := s.reg.Span("verify")
-		defer sp.End()
-		rc := newRunCache(s)
-		rep, err := yu.FromSpec(v.spec).Verify(yu.VerifyOptions{
-			K:              s.cfg.K,
-			Mode:           s.cfg.Mode,
-			ModeSet:        s.cfg.ModeSet,
-			OverloadFactor: s.cfg.OverloadFactor,
-			Workers:        1,
-			Obs:            s.reg,
-			CostHints:      s.copyHints(),
-			STFCache:       rc,
-		})
-		v.result = RunResult{
-			Version: v.id,
-			Report:  rep,
-			Err:     err,
-			Stats:   RunStats{CacheHits: rc.hits, CacheMisses: rc.misses},
-		}
-		if rep != nil {
-			v.result.Holds = rep.Holds
-			v.result.Text = canon.FormatReport(v.spec.Net, rep)
-			s.mergeHints(rep.CostHints)
-		}
-		if err == nil {
-			s.everRan.Store(true)
-		}
+		go func() {
+			defer close(v.done)
+			v.compute()
+		}()
 	})
+}
+
+// compute runs the version's verification. Panics are contained: the
+// version's result carries the error and the daemon keeps serving
+// (worker panics are already contained by governance — this is the
+// serve-layer backstop, exercised by fault injection).
+func (v *version) compute() {
+	s := v.srv
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("serve.panics").Inc()
+			v.result = RunResult{Version: v.id, Err: fmt.Errorf("serve: verification panic: %v", r)}
+		}
+	}()
+	sp := s.reg.Span("verify")
+	defer sp.End()
+	if err := fault.Here("serve.verify.run"); err != nil {
+		v.result = RunResult{Version: v.id, Err: err}
+		return
+	}
+	ctx := context.Background()
+	if s.cfg.VerifyTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.VerifyTimeout)
+		defer cancel()
+	}
+	rc := newRunCache(s)
+	rep, err := yu.FromSpec(v.spec).Verify(yu.VerifyOptions{
+		K:              s.cfg.K,
+		Mode:           s.cfg.Mode,
+		ModeSet:        s.cfg.ModeSet,
+		OverloadFactor: s.cfg.OverloadFactor,
+		Workers:        1,
+		Ctx:            ctx,
+		Obs:            s.reg,
+		CostHints:      s.copyHints(),
+		STFCache:       rc,
+	})
+	v.result = RunResult{
+		Version: v.id,
+		Report:  rep,
+		Err:     err,
+		Stats:   RunStats{CacheHits: rc.hits, CacheMisses: rc.misses},
+	}
+	if rep != nil {
+		v.result.Holds = rep.Holds
+		v.result.Text = canon.FormatReport(v.spec.Net, rep)
+		s.mergeHints(rep.CostHints)
+	}
+	if err == nil {
+		s.everRan.Store(true)
+	}
 }
 
 func (s *Server) copyHints() map[string]float64 {

@@ -286,10 +286,20 @@ func TestWarmStateCorrupt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	flip := func(pos int) []byte {
+		out := append([]byte(nil), data...)
+		out[pos] ^= 0x01
+		return out
+	}
 	for name, mut := range map[string][]byte{
 		"garbage":   []byte("not a warm cache at all"),
 		"truncated": data[:len(data)/2],
 		"badmagic":  append([]byte("YUWARM9\n"), data[8:]...),
+		// Single bit flips: the CRC frames must catch corruption that
+		// structural validation alone could let through.
+		"bitflip-frame-start": flip(16),
+		"bitflip-middle":      flip(len(data) / 2),
+		"bitflip-tail":        flip(len(data) - 2),
 	} {
 		if err := os.WriteFile(path, mut, 0o644); err != nil {
 			t.Fatal(err)

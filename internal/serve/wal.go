@@ -1,0 +1,227 @@
+// Delta write-ahead log: the crash-consistency backbone of the daemon
+// (DESIGN.md §15). Every accepted delta batch is journaled — fsync'd to
+// the YUWAL1 log — *before* it is published, so a daemon killed at any
+// instant and restarted with the same spec file and state directory
+// replays the journal and reconstructs exactly the last published
+// version: never a torn batch, never a silently dropped one.
+//
+// On-disk format (little-endian):
+//
+//	magic    [7]byte  "YUWAL1\n"
+//	baseSum  uint32   crc32(IEEE) of the canonical base spec text
+//	baseLen  uint32   len of the canonical base spec text
+//	records  *        u32 payloadLen | payload | u32 crc32(payload)
+//
+// payload is the JSON walRecord: the delta batch plus the crc32/length
+// of the canonical text the batch produced, so replay can verify it
+// rebuilt the exact pre-crash version. A record is committed iff its
+// length prefix, payload, and checksum are fully on disk; replay
+// truncates the log at the first torn or corrupt record (the only thing
+// a mid-append crash can leave behind) and continues from there.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/yu-verify/yu/internal/fault"
+)
+
+const (
+	walMagic = "YUWAL1\n"
+	walFile  = "delta.wal"
+	// maxWALRecord bounds a single record's payload; anything larger is
+	// treated as corruption (a delta batch is bounded by MaxBodyBytes).
+	maxWALRecord = 1 << 28
+)
+
+// walRecord is one journaled delta batch. ResultSum/ResultLen pin the
+// canonical spec text the batch produced when it was accepted; replay
+// re-applies the deltas and requires the same bytes back.
+type walRecord struct {
+	Deltas    []Delta `json:"deltas"`
+	ResultSum uint32  `json:"result_sum"`
+	ResultLen uint32  `json:"result_len"`
+}
+
+type wal struct {
+	f      *os.File
+	dir    string
+	path   string
+	off    int64 // end of the last durable record (append position)
+	broken bool  // a failed rollback left the tail unusable
+}
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, dir: dir, path: path}, nil
+}
+
+func (w *wal) close() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+func walHeader(baseText string) []byte {
+	hdr := make([]byte, len(walMagic)+8)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[len(walMagic):], crc32.ChecksumIEEE([]byte(baseText)))
+	binary.LittleEndian.PutUint32(hdr[len(walMagic)+4:], uint32(len(baseText)))
+	return hdr
+}
+
+// walTextSum is the checksum binding a WAL record (and the header) to a
+// canonical spec text.
+func walTextSum(text string) uint32 { return crc32.ChecksumIEEE([]byte(text)) }
+
+// load reads the whole journal. matched reports whether the header binds
+// the log to baseText; recs are the committed records and offs[i] the
+// byte offset record i starts at (for replay-time truncation); torn
+// reports whether a torn/corrupt tail was found and truncated away. A
+// log that does not match the base (different spec file, or a log from
+// before a full reload that never got reset) is not an error — the
+// caller resets it.
+func (w *wal) load(baseText string) (recs []walRecord, offs []int64, matched, torn bool, err error) {
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, nil, false, false, err
+	}
+	want := walHeader(baseText)
+	if len(data) < len(want) || string(data[:len(want)]) != string(want) {
+		return nil, nil, false, false, nil
+	}
+	off := int64(len(want))
+	for int64(len(data)) > off {
+		rest := data[off:]
+		if len(rest) < 4 {
+			torn = true
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if n == 0 || n > maxWALRecord || int64(len(rest)) < int64(n)+8 {
+			torn = true
+			break
+		}
+		payload := rest[4 : 4+n]
+		sum := binary.LittleEndian.Uint32(rest[4+n:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			torn = true
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			torn = true
+			break
+		}
+		recs = append(recs, rec)
+		offs = append(offs, off)
+		off += int64(n) + 8
+	}
+	if torn || int64(len(data)) > off {
+		if err := w.truncateTo(off); err != nil {
+			return nil, nil, true, torn, err
+		}
+		torn = true
+	}
+	w.off = off
+	return recs, offs, true, torn, nil
+}
+
+// reset rebinds the journal to a new base: everything journaled so far
+// is superseded by the full text the caller is about to publish.
+func (w *wal) reset(baseText string) error {
+	hdr := walHeader(baseText)
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.off = int64(len(hdr))
+	w.broken = false
+	return syncDir(w.dir)
+}
+
+// truncateTo drops everything at and after byte offset off — the
+// torn-tail repair and the replay-stops-here repair share it.
+func (w *wal) truncateTo(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.off = off
+	return nil
+}
+
+// append journals one accepted batch: frame it, write it at the end of
+// the log, fsync. Only after append returns nil may the caller publish
+// the batch — the journal is the commit point. A write failure rolls the
+// tail back so later appends cannot land after a torn frame; if even the
+// rollback fails the log is marked broken and every future append (and
+// therefore every future delta) is refused — fail-stop beats silently
+// losing durability.
+func (w *wal) append(deltas []Delta, resultText string) error {
+	if w.broken {
+		return fmt.Errorf("serve: delta journal is broken (earlier rollback failed); restart the daemon")
+	}
+	if err := fault.Here("serve.wal.append"); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(walRecord{
+		Deltas:    deltas,
+		ResultSum: crc32.ChecksumIEEE([]byte(resultText)),
+		ResultLen: uint32(len(resultText)),
+	})
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.LittleEndian.PutUint32(frame[4+len(payload):], crc32.ChecksumIEEE(payload))
+
+	if n, ok := fault.Partial("serve.wal.write"); ok {
+		// A torn write is only observable if the process died mid-write:
+		// leave the partial frame on disk and crash.
+		if n > len(frame) {
+			n = len(frame)
+		}
+		w.f.WriteAt(frame[:n], w.off)
+		w.f.Sync()
+		fault.TriggerCrash("serve.wal.write")
+	}
+	_, werr := w.f.WriteAt(frame, w.off)
+	if werr == nil {
+		if err := fault.Here("serve.wal.sync"); err != nil {
+			werr = err
+		} else {
+			werr = w.f.Sync()
+		}
+	}
+	if werr != nil {
+		if terr := w.truncateTo(w.off); terr != nil {
+			w.broken = true
+		}
+		return werr
+	}
+	w.off += int64(len(frame))
+	return nil
+}
