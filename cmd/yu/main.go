@@ -30,6 +30,7 @@ import (
 
 	"github.com/yu-verify/yu"
 	"github.com/yu-verify/yu/internal/canon"
+	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/concrete"
 	"github.com/yu-verify/yu/internal/topo"
 )
@@ -83,6 +84,7 @@ type verifyConfig struct {
 	cpuprofile string
 	memprofile string
 	traceFile  string
+	tlpFile    string
 	spec       string
 }
 
@@ -151,6 +153,7 @@ func parseVerifyFlags(args []string, eh flag.ErrorHandling) (*verifyConfig, erro
 		}
 		return nil
 	})
+	fs.StringVar(&cfg.tlpFile, "tlp", "", "evaluate the TLP portfolio FILE with the batch engine instead of the spec's properties")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to FILE at exit")
 	fs.StringVar(&cfg.traceFile, "trace", "", "write a runtime execution trace to FILE")
@@ -281,6 +284,34 @@ func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 		defer cancel()
 		opts.Ctx = ctx
+	}
+	if cfg.tlpFile != "" {
+		// Portfolio mode: the batch TLP engine evaluates the portfolio
+		// file from one symbolic run and prints the canonical report.
+		if cfg.engine != yu.EngineYU {
+			return fail(errors.New("-tlp requires the yu engine"))
+		}
+		f, err := os.Open(cfg.tlpFile)
+		if err != nil {
+			return fail(err)
+		}
+		props, perr := config.ParsePortfolio(f, net.Topology())
+		f.Close()
+		if perr != nil {
+			return fail(fmt.Errorf("%s: %w", cfg.tlpFile, perr))
+		}
+		res, err := net.VerifyPortfolio(props, opts)
+		if err != nil && res == nil {
+			return fail(err)
+		}
+		io.WriteString(stdout, canon.FormatPortfolio(net.Topology(), res))
+		if err != nil {
+			fmt.Fprintln(stderr, "yu:", err)
+		}
+		if err != nil || !res.Holds {
+			return 1
+		}
+		return code
 	}
 	rep, err := net.Verify(opts)
 	if err != nil && rep == nil {

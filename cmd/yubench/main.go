@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|scaling|overhead|kernels|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|scaling|overhead|kernels|tlp|all
 //	        [-scale quick|full] [-baseline-budget 30s]
 //	        [-workers 1,2,4,8] [-rounds 3] [-json TAG] [-require-speedup]
+//	        [-require-tlp-sharing]
 //
 // Quick scale finishes in minutes; full scale uses the paper's Table 3
 // router/link counts and can run for hours single-threaded. Baseline
@@ -20,8 +21,12 @@
 // the 1-worker round, and with -require-speedup gates CI on the 4-worker
 // exec+check time beating 1 worker by >10% (skipped below 4 cores); the
 // kernels experiment compares the fused MTBDD kernels against the
-// composed build-then-reduce pipeline on N0; -json TAG additionally
-// writes the measurements to BENCH_TAG.json for machine consumption.
+// composed build-then-reduce pipeline on N0; the tlp experiment sweeps
+// batch-portfolio sizes {1,100,1000} on the medium WAN and with
+// -require-tlp-sharing gates CI on the 1000-property run finishing in
+// under twice the 1-property run (the scan-sharing contract); -json TAG
+// additionally writes the measurements to BENCH_TAG.json for machine
+// consumption.
 package main
 
 import (
@@ -39,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, scaling, overhead, kernels, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, scaling, overhead, kernels, tlp, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
@@ -47,6 +52,8 @@ func main() {
 	jsonTag := flag.String("json", "", "write measurements to BENCH_<TAG>.json")
 	requireSpeedup := flag.Bool("require-speedup", false,
 		"after the scaling experiment, fail unless 4 workers beat 1 worker by >10% on exec+check (skipped when GOMAXPROCS < 4)")
+	requireTLPSharing := flag.Bool("require-tlp-sharing", false,
+		"after the tlp experiment, fail unless the largest portfolio finishes in under 2x the smallest's wall time")
 	flag.Parse()
 
 	workersList, err := parseWorkers(*workersFlag)
@@ -109,6 +116,14 @@ func main() {
 			records = append(records, rs...)
 			return nil
 		},
+		"tlp": func() error {
+			rs, err := bench.TLPSweep(os.Stdout, scale, []int{1, 100, 1000})
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
 		"table3": func() error { return bench.Table3(os.Stdout, scale) },
 		"table4": func() error { return bench.Table4(os.Stdout, scale, *budget) },
 		"fig11":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailLinks, *budget) },
@@ -117,7 +132,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "scaling", "overhead", "kernels"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "scaling", "overhead", "kernels", "tlp"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -147,6 +162,12 @@ func main() {
 
 	if *requireSpeedup {
 		if err := bench.CheckScalingSpeedup(os.Stdout, records); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *requireTLPSharing {
+		if err := bench.CheckTLPSharing(os.Stdout, records); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/gen"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// tlpPortfolio builds a size-property portfolio over the generated
+// network. Property 0 is always the network-wide max-utilization bound —
+// one property that aggregates and scans every directed link — so the
+// subject coverage is identical at every size and portfolio size is the
+// only variable. The remaining properties cycle the other kinds
+// (unconditional load bound, single-link utilization, delivered traffic,
+// conditional load bound) across the links, piling many properties onto
+// subjects the utilization property already scans — the shape the batch
+// engine's scan sharing is designed for.
+func tlpPortfolio(spec *yu.Network, size int) []topo.TLProp {
+	net := spec.Topology()
+	prefixes := gen.Prefixes(spec.Spec())
+	props := make([]topo.TLProp, 0, size)
+	props = append(props, topo.TLProp{Kind: topo.TLPUtil, AllLinks: true, Factor: 1.0})
+	for i := 0; len(props) < size; i++ {
+		link := topo.LinkID(i % net.NumLinks())
+		switch i % 4 {
+		case 0:
+			props = append(props, topo.TLProp{
+				Kind: topo.TLPLinkLoad, Link: link, Max: float64(50 + i%200),
+			})
+		case 1:
+			props = append(props, topo.TLProp{
+				Kind: topo.TLPUtil, Link: link, Factor: 0.5 + float64(i%50)/100,
+			})
+		case 2:
+			props = append(props, topo.TLProp{
+				Kind: topo.TLPDelivered, Prefix: prefixes[i%len(prefixes)],
+				Min: float64(i % 10), Max: math.Inf(1),
+			})
+		case 3:
+			props = append(props, topo.TLProp{
+				Kind: topo.TLPLinkLoad, Link: link, Max: float64(80 + i%150),
+				CondSet: true, CondLink: topo.LinkID((i + 1) % net.NumLinks()),
+			})
+		}
+	}
+	return props
+}
+
+// TLPSweep measures batch portfolio evaluation against portfolio size on
+// the medium WAN case. The size-1 portfolio is the network-wide
+// max-utilization property, which already aggregates and terminal-scans
+// every directed link, so the larger portfolios vary only the property
+// count over the same subjects: one symbolic run serves them all, each
+// directed link scanned once however many properties ride on it, and
+// wall time stays nearly flat in the property count. CheckTLPSharing
+// gates CI on exactly that flatness.
+func TLPSweep(w io.Writer, scale Scale, sizes []int) ([]BenchRecord, error) {
+	c := wanCases(scale)[1] // N1: the medium WAN
+	spec, flows, err := buildWAN(c)
+	if err != nil {
+		return nil, err
+	}
+	n := yu.FromSpec(spec)
+	k := c.ks[0]
+	fmt.Fprintf(w, "TLP portfolio sweep: %s (%d routers, %d links), %d flows, k=%d link failures\n",
+		c.name, spec.Net.NumRouters(), spec.Net.NumLinks(), len(flows), k)
+	fmt.Fprintf(w, "%-8s %14s %12s %12s %12s %10s %9s\n",
+		"props", "wall", "link scans", "restr scans", "dlvd scans", "violated", "vs 1")
+	var records []BenchRecord
+	var base time.Duration
+	for _, size := range sizes {
+		props := tlpPortfolio(n, size)
+		reg := yu.NewMetrics()
+		start := time.Now()
+		res, err := n.VerifyPortfolio(props, yu.VerifyOptions{
+			K: k, Mode: topo.FailLinks, ModeSet: true,
+			Flows: flows, Workers: 1, Obs: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if base == 0 {
+			base = elapsed
+		}
+		ratio := float64(elapsed) / float64(base)
+		records = append(records, BenchRecord{
+			Experiment: "tlp",
+			Case:       c.name,
+			K:          k,
+			Mode:       topo.FailLinks.String(),
+			Workers:    1,
+			Properties: size,
+			WallMS:     float64(elapsed.Microseconds()) / 1000,
+			Violations: res.Stats.Violations,
+			Speedup:    float64(base) / float64(elapsed),
+			Metrics:    reg.Snapshot(),
+		})
+		fmt.Fprintf(w, "%-8d %14s %12d %12d %12d %10d %8.2fx\n",
+			size, fmtDur(elapsed, false), res.Stats.LinkScans, res.Stats.RestrictScans,
+			res.Stats.DeliveredScans, res.Stats.Violations, ratio)
+	}
+	return records, nil
+}
+
+// CheckTLPSharing is the CI gate over a TLP sweep's records: the largest
+// portfolio must finish in under twice the smallest's wall time. With
+// scan sharing the marginal property costs a plan entry and a few
+// terminal comparisons, so even 1000 properties ride the one symbolic
+// run; without sharing the largest portfolio would re-scan per property
+// and blow far past 2x.
+func CheckTLPSharing(w io.Writer, records []BenchRecord) error {
+	small, large := BenchRecord{Properties: math.MaxInt}, BenchRecord{Properties: -1}
+	for _, r := range records {
+		if r.Experiment != "tlp" {
+			continue
+		}
+		if r.Properties < small.Properties {
+			small = r
+		}
+		if r.Properties > large.Properties {
+			large = r
+		}
+	}
+	if large.Properties < 0 || small.Properties == large.Properties {
+		return fmt.Errorf("tlp gate: sweep has fewer than two portfolio sizes")
+	}
+	if large.WallMS >= 2*small.WallMS {
+		return fmt.Errorf("tlp gate: %d properties took %.1fms, >= 2x the %d-property run (%.1fms) — scan sharing regressed",
+			large.Properties, large.WallMS, small.Properties, small.WallMS)
+	}
+	fmt.Fprintf(w, "tlp gate: ok (%d props %.1fms vs %d props %.1fms, %.2fx)\n",
+		large.Properties, large.WallMS, small.Properties, small.WallMS,
+		large.WallMS/small.WallMS)
+	return nil
+}

@@ -20,6 +20,9 @@ type BenchRecord struct {
 	K          int    `json:"k"`
 	Mode       string `json:"mode"`
 	Workers    int    `json:"workers"`
+	// Properties is the portfolio size for the tlp experiment (0
+	// elsewhere): the sweep's independent variable.
+	Properties int `json:"properties,omitempty"`
 	// GOMAXPROCS is the scheduler's OS-thread parallelism during the run —
 	// the hardware ceiling a workers>1 row is bounded by. A sweep recorded
 	// with GOMAXPROCS=1 measures scheduling overhead, not speedup.

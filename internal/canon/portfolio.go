@@ -1,0 +1,129 @@
+package canon
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/yu-verify/yu/internal/tlp"
+	"github.com/yu-verify/yu/internal/topo"
+)
+
+// FormatProp renders one portfolio property in the `tlp` DSL form (the
+// text ParsePortfolio accepts back).
+func FormatProp(net *topo.Network, p topo.TLProp) string {
+	var sb strings.Builder
+	writeProp(&sb, net, p)
+	return sb.String()
+}
+
+func writeProp(sb *strings.Builder, net *topo.Network, p topo.TLProp) {
+	linkName := func() string {
+		l := net.Link(p.Link)
+		a, b := net.Router(l.A).Name, net.Router(l.B).Name
+		if p.DirSpecified {
+			if p.Dir == topo.BtoA {
+				a, b = b, a
+			}
+			return a + "->" + b
+		}
+		return a + "-" + b
+	}
+	switch p.Kind {
+	case topo.TLPLinkLoad:
+		if p.DirSpecified {
+			fmt.Fprintf(sb, "dirlink %s", linkName())
+		} else {
+			fmt.Fprintf(sb, "link %s", linkName())
+		}
+		writeBounds(sb, p.Min, p.Max)
+	case topo.TLPUtil:
+		fmt.Fprintf(sb, "util %s", ftoa(p.Factor))
+		if !p.AllLinks {
+			if p.DirSpecified {
+				fmt.Fprintf(sb, " dirlink %s", linkName())
+			} else {
+				fmt.Fprintf(sb, " link %s", linkName())
+			}
+		}
+	case topo.TLPDelivered:
+		fmt.Fprintf(sb, "delivered %s", p.Prefix)
+		writeBounds(sb, p.Min, p.Max)
+	case topo.TLPRatio:
+		fmt.Fprintf(sb, "ratio %s", p.Prefix)
+		writeBounds(sb, p.Min, p.Max)
+	default:
+		fmt.Fprintf(sb, "unknown-kind-%d", int(p.Kind))
+	}
+	if p.CondSet {
+		l := net.Link(p.CondLink)
+		fmt.Fprintf(sb, " if-failed %s-%s", net.Router(l.A).Name, net.Router(l.B).Name)
+	}
+}
+
+// FormatPortfolio renders a portfolio evaluation canonically: every
+// deterministic field and no wall-clock fields, so two evaluations of the
+// same portfolio against the same network are byte-identical exactly when
+// they agree. Violations appear grouped by witness failure set in the
+// engine's ranking order (descending excess).
+func FormatPortfolio(net *topo.Network, r *tlp.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "holds %v\n", r.Holds)
+	fmt.Fprintf(&sb, "properties %d violated %d vacuous %d unchecked %d\n",
+		r.Stats.Properties, r.Stats.Violations, countStatus(r, tlp.StatusVacuous), r.Stats.Unchecked)
+	for _, g := range r.Groups {
+		sb.WriteString("group when")
+		if len(g.FailedLinks) == 0 && len(g.FailedRouters) == 0 {
+			sb.WriteString(" nothing fails")
+		}
+		for _, l := range g.FailedLinks {
+			fmt.Fprintf(&sb, " link %s", net.LinkName(l))
+		}
+		for _, rt := range g.FailedRouters {
+			fmt.Fprintf(&sb, " router %s", net.Router(rt).Name)
+		}
+		fmt.Fprintf(&sb, " max-excess %.9g\n", g.MaxExcess)
+		for _, pi := range g.Props {
+			vd := r.Verdicts[pi]
+			sb.WriteString("  ")
+			writeProp(&sb, net, r.Props[pi])
+			fmt.Fprintf(&sb, " value %.9g excess %.9g\n", vd.Value, vd.Excess)
+		}
+	}
+	for i, vd := range r.Verdicts {
+		if vd.Status != tlp.StatusUnchecked {
+			continue
+		}
+		sb.WriteString("unchecked ")
+		writeProp(&sb, net, r.Props[i])
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scans link %d delivered %d restrict %d checks %d\n",
+		r.Stats.LinkScans, r.Stats.DeliveredScans, r.Stats.RestrictScans, r.Stats.Checks)
+	if r.Incomplete {
+		sb.WriteString("incomplete true\n")
+	}
+	return sb.String()
+}
+
+// portfolioLinks lists the link IDs a property names in the DSL (subject
+// and guard), for name-safety validation.
+func portfolioLinks(p topo.TLProp) []topo.LinkID {
+	var out []topo.LinkID
+	if p.Kind == topo.TLPLinkLoad || (p.Kind == topo.TLPUtil && !p.AllLinks) {
+		out = append(out, p.Link)
+	}
+	if p.CondSet {
+		out = append(out, p.CondLink)
+	}
+	return out
+}
+
+func countStatus(r *tlp.Result, s tlp.Status) int {
+	n := 0
+	for _, vd := range r.Verdicts {
+		if vd.Status == s {
+			n++
+		}
+	}
+	return n
+}

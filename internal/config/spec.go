@@ -21,6 +21,10 @@ type Spec struct {
 	Flows     []topo.Flow
 	Props     []topo.LoadBound
 	Delivered []topo.DeliveredBound
+	// Portfolio holds the spec's `tlp` portfolio properties, evaluated by
+	// the batch TLP engine (internal/tlp) rather than the legacy
+	// per-property checks.
+	Portfolio []topo.TLProp
 	K         int
 	Mode      topo.FailureMode
 }
@@ -91,6 +95,7 @@ type specParser struct {
 	// deferred items resolved after the topology is built
 	flows    []pendingFlow
 	props    []pendingProp
+	tlps     []pendingTLP
 	autoMesh bool
 
 	cur      *Router   // active "config X" block
@@ -132,6 +137,13 @@ func (p *specParser) line(f []string) error {
 		return p.flow(f[1:])
 	case "property":
 		return p.property(f[1:])
+	case "tlp":
+		pt, err := parseTLPLine(f[1:])
+		if err != nil {
+			return err
+		}
+		p.tlps = append(p.tlps, pt)
+		return nil
 	case "failures":
 		return p.failures(f[1:])
 	case "network", "neighbor", "static", "redistribute", "sr-policy", "path":
@@ -548,6 +560,13 @@ func (p *specParser) finish() (*Spec, error) {
 			}
 			spec.Props = append(spec.Props, topo.LoadBound{Link: l.ID, Min: pp.min, Max: pp.max})
 		}
+	}
+	for i, pt := range p.tlps {
+		prop, err := resolveTLP(net, pt)
+		if err != nil {
+			return nil, fmt.Errorf("tlp %d: %w", i+1, err)
+		}
+		spec.Portfolio = append(spec.Portfolio, prop)
 	}
 	return spec, nil
 }

@@ -37,8 +37,6 @@ package core
 
 import (
 	"errors"
-	"math"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -511,170 +509,10 @@ func (c *shardChecker) maybeGC() {
 	}
 }
 
-func (c *shardChecker) checkRange(tau *mtbdd.Node, min, max float64) (mtbdd.Assignment, float64, bool) {
-	if c.v.e.opts.CheckK > 0 {
-		tau = c.m.KReduce(tau, c.v.e.opts.CheckK)
-	}
-	lo := min - loadEpsilon
-	hi := max + loadEpsilon
-	if math.IsInf(max, 1) {
-		hi = math.Inf(1)
-	}
-	return c.m.WitnessOutside(tau, lo, hi)
-}
-
-// checkLink verifies one directed link against an upper limit and returns
-// its stat and any violations, without touching the primary manager.
+// checkLink verifies one directed link against an upper limit through the
+// shared scan core, without touching the primary manager: classes are
+// keyed by the primary canonical pointer and imported on demand, so the
+// grouping — and every verdict and value — is identical to sequential.
 func (c *shardChecker) checkLink(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
-	if c.v.e.opts.DisableEarlyTermination {
-		return c.checkLinkFull(l, limit)
-	}
-	return c.checkLinkPruned(l, limit)
-}
-
-// checkLinkFull mirrors the sequential LinkLoad + checkRange pair used
-// when early termination is disabled.
-func (c *shardChecker) checkLinkFull(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
-	start := time.Now()
-	m, fv := c.m, c.fv
-	stat := LinkCheckStat{Link: l}
-	tau := m.Zero()
-	if c.v.e.opts.DisableLinkLocalEquiv {
-		for _, s := range c.v.stfs {
-			w, ok := s.Links[l]
-			if !ok {
-				continue
-			}
-			stat.Flows++
-			stat.Classes++
-			tau = mulAddTimed(c.v.kreduceT, fv, tau, s.Flow.Gbps, m.Import(w))
-		}
-	} else {
-		// Group by the primary manager's canonical pointer, first-seen
-		// order — the same classes, in the same order, as sequential.
-		idx := make(map[*mtbdd.Node]int)
-		var order []*mtbdd.Node
-		vols := make([]float64, 0, 8)
-		for _, s := range c.v.stfs {
-			w, ok := s.Links[l]
-			if !ok {
-				continue
-			}
-			stat.Flows++
-			if i, ok := idx[w]; ok {
-				vols[i] += s.Flow.Gbps
-			} else {
-				idx[w] = len(order)
-				order = append(order, w)
-				vols = append(vols, s.Flow.Gbps)
-			}
-		}
-		stat.Classes = len(order)
-		for i, w := range order {
-			tau = mulAddTimed(c.v.kreduceT, fv, tau, vols[i], m.Import(w))
-		}
-	}
-	stat.Elapsed = time.Since(start)
-	var viols []Violation
-	if a, val, bad := c.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
-		links, routers := scenarioWitness(c.fv, a)
-		viols = append(viols, Violation{
-			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
-			FailedLinks: links, FailedRouters: routers,
-		})
-	}
-	return stat, viols
-}
-
-// checkLinkPruned mirrors the sequential checkOverloadPruned: quick bound,
-// descending-contribution aggregation with early stop, and exact witness
-// recomputation.
-func (c *shardChecker) checkLinkPruned(l topo.DirLinkID, limit float64) (LinkCheckStat, []Violation) {
-	start := time.Now()
-	m, fv := c.m, c.fv
-	stat := LinkCheckStat{Link: l}
-
-	type cls struct {
-		w   *mtbdd.Node // imported into the shard manager
-		vol float64
-		max float64
-	}
-	var classes []cls
-	if c.v.e.opts.DisableLinkLocalEquiv {
-		for _, s := range c.v.stfs {
-			if w, ok := s.Links[l]; ok {
-				stat.Flows++
-				lw := m.Import(w)
-				_, hi := m.Range(lw)
-				classes = append(classes, cls{lw, s.Flow.Gbps, hi})
-			}
-		}
-		stat.Classes = len(classes)
-	} else {
-		// First-seen order keyed by the primary canonical pointer; the
-		// import is injective on canonical nodes, so the grouping is the
-		// same as sequential.
-		idx := make(map[*mtbdd.Node]int)
-		for _, s := range c.v.stfs {
-			if w, ok := s.Links[l]; ok {
-				stat.Flows++
-				if i, ok := idx[w]; ok {
-					classes[i].vol += s.Flow.Gbps
-				} else {
-					idx[w] = len(classes)
-					classes = append(classes, cls{w: m.Import(w), vol: s.Flow.Gbps})
-				}
-			}
-		}
-		for i := range classes {
-			_, hi := m.Range(classes[i].w)
-			classes[i].max = hi
-		}
-		stat.Classes = len(classes)
-	}
-
-	violThreshold := limit - loadEpsilon
-
-	total := 0.0
-	for _, cl := range classes {
-		total += cl.vol * cl.max
-	}
-	if total <= violThreshold {
-		stat.Elapsed = time.Since(start)
-		return stat, nil
-	}
-
-	sort.SliceStable(classes, func(i, j int) bool { return classes[i].vol*classes[i].max > classes[j].vol*classes[j].max })
-	remaining := total
-	tau := m.Zero()
-	for _, cl := range classes {
-		tau = mulAddTimed(c.v.kreduceT, fv, tau, cl.vol, cl.w)
-		remaining -= cl.vol * cl.max
-		_, hi := m.Range(tau)
-		if hi > violThreshold {
-			break
-		}
-		if hi+remaining <= violThreshold {
-			stat.Elapsed = time.Since(start)
-			return stat, nil
-		}
-	}
-	stat.Elapsed = time.Since(start)
-	var viols []Violation
-	if a, val, bad := c.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
-		links, routers := scenarioWitness(c.fv, a)
-		assign := c.fv.Scenario(links, routers)
-		exact := 0.0
-		for _, cl := range classes {
-			exact += cl.vol * m.Eval(cl.w, assign)
-		}
-		if exact > val {
-			val = exact
-		}
-		viols = append(viols, Violation{
-			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
-			FailedLinks: links, FailedRouters: routers,
-		})
-	}
-	return stat, viols
+	return c.scan().checkLink(l, limit)
 }

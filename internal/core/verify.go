@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"net/netip"
 	"sort"
 	"strings"
@@ -112,31 +111,46 @@ type Report struct {
 	// DegradedFlows names the flows whose STFs were rebuilt by the
 	// bounded concrete fallback instead of symbolic execution.
 	DegradedFlows []string
+
+	// uncheckedLinks / uncheckedPfx deduplicate the Unchecked and
+	// UncheckedDelivered lists without rescanning them per mark.
+	uncheckedLinks map[topo.DirLinkID]struct{}
+	uncheckedPfx   map[netip.Prefix]struct{}
 }
 
-// markUnchecked records a directed link as unchecked (deduplicated) and
+// markUnchecked records a directed link as unchecked (deduplicated via a
+// set so repeated marks stay O(1), preserving first-marked order) and
 // flags the report incomplete.
 func (rep *Report) markUnchecked(l topo.DirLinkID) {
-	for _, u := range rep.Unchecked {
-		if u == l {
-			rep.Incomplete = true
-			return
+	rep.Incomplete = true
+	if rep.uncheckedLinks == nil {
+		rep.uncheckedLinks = make(map[topo.DirLinkID]struct{}, len(rep.Unchecked)+1)
+		for _, u := range rep.Unchecked {
+			rep.uncheckedLinks[u] = struct{}{}
 		}
 	}
+	if _, dup := rep.uncheckedLinks[l]; dup {
+		return
+	}
+	rep.uncheckedLinks[l] = struct{}{}
 	rep.Unchecked = append(rep.Unchecked, l)
-	rep.Incomplete = true
 }
 
-// markUncheckedDelivered records a delivered-bound prefix as unchecked.
+// markUncheckedDelivered records a delivered-bound prefix as unchecked,
+// deduplicated the same way.
 func (rep *Report) markUncheckedDelivered(pfx netip.Prefix) {
-	for _, u := range rep.UncheckedDelivered {
-		if u == pfx {
-			rep.Incomplete = true
-			return
+	rep.Incomplete = true
+	if rep.uncheckedPfx == nil {
+		rep.uncheckedPfx = make(map[netip.Prefix]struct{}, len(rep.UncheckedDelivered)+1)
+		for _, u := range rep.UncheckedDelivered {
+			rep.uncheckedPfx[u] = struct{}{}
 		}
 	}
+	if _, dup := rep.uncheckedPfx[pfx]; dup {
+		return
+	}
+	rep.uncheckedPfx[pfx] = struct{}{}
 	rep.UncheckedDelivered = append(rep.UncheckedDelivered, pfx)
-	rep.Incomplete = true
 }
 
 // Verifier aggregates per-flow STFs into per-link symbolic traffic loads
@@ -243,80 +257,14 @@ func (v *Verifier) FlowSTFs() []*FlowSTF { return v.stfs }
 // The returned node remains valid until the next Verifier method that may
 // trigger a managed GC (another LinkLoad or an overload check).
 func (v *Verifier) LinkLoad(l topo.DirLinkID) (*mtbdd.Node, LinkCheckStat) {
-	v.e.maybeGC(v.stfs, nil)
-	start := time.Now()
-	m, fv := v.e.m, v.e.fv
-	stat := LinkCheckStat{Link: l}
-	tau := m.Zero()
-	if v.e.opts.DisableLinkLocalEquiv {
-		for _, s := range v.stfs {
-			w, ok := s.Links[l]
-			if !ok {
-				continue
-			}
-			stat.Flows++
-			stat.Classes++
-			tau = mulAddTimed(v.kreduceT, fv, tau, s.Flow.Gbps, w)
-		}
-	} else {
-		// Group in first-seen order: float addition is not associative,
-		// so a deterministic order keeps verdicts reproducible.
-		idx := make(map[*mtbdd.Node]int)
-		var order []*mtbdd.Node
-		vols := make([]float64, 0, 8)
-		for _, s := range v.stfs {
-			w, ok := s.Links[l]
-			if !ok {
-				continue
-			}
-			stat.Flows++
-			if i, ok := idx[w]; ok {
-				vols[i] += s.Flow.Gbps
-			} else {
-				idx[w] = len(order)
-				order = append(order, w)
-				vols = append(vols, s.Flow.Gbps)
-			}
-		}
-		stat.Classes = len(order)
-		for i, w := range order {
-			tau = mulAddTimed(v.kreduceT, fv, tau, vols[i], w)
-		}
-	}
-	stat.Elapsed = time.Since(start)
-	return tau, stat
+	return v.primaryScan().linkLoad(l)
 }
 
 // DeliveredLoad computes the symbolic delivered traffic for all flows
 // whose destination is inside pfx, along with a check stat (Kind
 // "delivered") recording aggregation effort and timing.
 func (v *Verifier) DeliveredLoad(pfx netip.Prefix) (*mtbdd.Node, LinkCheckStat) {
-	start := time.Now()
-	m, fv := v.e.m, v.e.fv
-	stat := LinkCheckStat{Kind: "delivered", Prefix: pfx}
-	idx := make(map[*mtbdd.Node]int)
-	var order []*mtbdd.Node
-	var vols []float64
-	for _, s := range v.stfs {
-		if !pfx.Contains(s.Flow.Dst) {
-			continue
-		}
-		stat.Flows++
-		if i, ok := idx[s.Delivered]; ok {
-			vols[i] += s.Flow.Gbps
-		} else {
-			idx[s.Delivered] = len(order)
-			order = append(order, s.Delivered)
-			vols = append(vols, s.Flow.Gbps)
-		}
-	}
-	stat.Classes = len(order)
-	tau := m.Zero()
-	for i, w := range order {
-		tau = mulAddTimed(v.kreduceT, fv, tau, vols[i], w)
-	}
-	stat.Elapsed = time.Since(start)
-	return tau, stat
+	return v.primaryScan().deliveredLoad(pfx)
 }
 
 // loadEpsilon absorbs floating-point noise from ECMP fraction arithmetic
@@ -324,17 +272,9 @@ func (v *Verifier) DeliveredLoad(pfx netip.Prefix) (*mtbdd.Node, LinkCheckStat) 
 const loadEpsilon = 1e-6
 
 // checkRange looks for a counter-example terminal outside [min, max]
-// (Theorem 5.1: scanning the terminals of the KReduce'd STL suffices).
+// (Theorem 5.1) via the shared scan core.
 func (v *Verifier) checkRange(tau *mtbdd.Node, min, max float64) (mtbdd.Assignment, float64, bool) {
-	if v.e.opts.CheckK > 0 {
-		tau = v.e.m.KReduce(tau, v.e.opts.CheckK)
-	}
-	lo := min - loadEpsilon
-	hi := max + loadEpsilon
-	if math.IsInf(max, 1) {
-		hi = math.Inf(1)
-	}
-	return v.e.m.WitnessOutside(tau, lo, hi)
+	return v.primaryScan().checkRange(tau, min, max)
 }
 
 func (v *Verifier) witness(a mtbdd.Assignment) (links []topo.LinkID, routers []topo.RouterID) {
@@ -448,125 +388,12 @@ func (v *Verifier) CheckOverloadAll(factor float64, rep *Report) {
 	}
 }
 
-// checkOverloadDir checks one directed link against an upper limit,
-// dispatching on the early-termination ablation.
+// checkOverloadDir checks one directed link against an upper limit via the
+// shared scan core (full or pruned per the early-termination ablation).
 func (v *Verifier) checkOverloadDir(l topo.DirLinkID, limit float64, rep *Report) {
-	if v.e.opts.DisableEarlyTermination {
-		tau, stat := v.LinkLoad(l)
-		rep.LinkStats = append(rep.LinkStats, stat)
-		if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
-			links, routers := v.witness(a)
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
-				FailedLinks: links, FailedRouters: routers,
-			})
-		}
-		return
-	}
-	v.checkOverloadPruned(l, limit, rep)
-}
-
-// checkOverloadPruned checks one directed link against an upper limit
-// with the early-termination heuristics.
-func (v *Verifier) checkOverloadPruned(l topo.DirLinkID, limit float64, rep *Report) {
-	v.e.maybeGC(v.stfs, nil)
-	start := time.Now()
-	m, fv := v.e.m, v.e.fv
-	stat := LinkCheckStat{Link: l}
-
-	type cls struct {
-		w   *mtbdd.Node
-		vol float64
-		max float64
-	}
-	var classes []cls
-	if v.e.opts.DisableLinkLocalEquiv {
-		for _, s := range v.stfs {
-			if w, ok := s.Links[l]; ok {
-				stat.Flows++
-				_, hi := m.Range(w)
-				classes = append(classes, cls{w, s.Flow.Gbps, hi})
-			}
-		}
-		stat.Classes = len(classes)
-	} else {
-		// First-seen order for reproducible float accumulation.
-		idx := make(map[*mtbdd.Node]int)
-		for _, s := range v.stfs {
-			if w, ok := s.Links[l]; ok {
-				stat.Flows++
-				if i, ok := idx[w]; ok {
-					classes[i].vol += s.Flow.Gbps
-				} else {
-					idx[w] = len(classes)
-					classes = append(classes, cls{w: w, vol: s.Flow.Gbps})
-				}
-			}
-		}
-		for i := range classes {
-			_, hi := m.Range(classes[i].w)
-			classes[i].max = hi
-		}
-		stat.Classes = len(classes)
-	}
-
-	// violThreshold mirrors checkRange's epsilon handling: values
-	// strictly above it are violations.
-	violThreshold := limit - loadEpsilon
-
-	// Quick bound: if even the per-class maxima cannot reach the limit,
-	// the property holds on this link with no aggregation at all.
-	total := 0.0
-	for _, c := range classes {
-		total += c.vol * c.max
-	}
-	if total <= violThreshold {
-		stat.Elapsed = time.Since(start)
-		rep.LinkStats = append(rep.LinkStats, stat)
-		return
-	}
-
-	// Aggregate classes in descending contribution order (stable for
-	// reproducibility), stopping as soon as either verdict is certain.
-	sort.SliceStable(classes, func(i, j int) bool { return classes[i].vol*classes[i].max > classes[j].vol*classes[j].max })
-	remaining := total
-	tau := m.Zero()
-	for _, c := range classes {
-		tau = mulAddTimed(v.kreduceT, fv, tau, c.vol, c.w)
-		remaining -= c.vol * c.max
-		_, hi := m.Range(tau)
-		if hi > violThreshold {
-			// Loads are non-negative: the partial maximum already
-			// violates, and adding more classes only increases it.
-			break
-		}
-		if hi+remaining <= violThreshold {
-			// Even if every remaining class peaked simultaneously the
-			// limit is unreachable.
-			stat.Elapsed = time.Since(start)
-			rep.LinkStats = append(rep.LinkStats, stat)
-			return
-		}
-	}
-	stat.Elapsed = time.Since(start)
+	stat, viols := v.primaryScan().checkLink(l, limit)
 	rep.LinkStats = append(rep.LinkStats, stat)
-	if a, val, bad := v.checkRange(tau, math.Inf(-1), limit-2*loadEpsilon); bad {
-		links, routers := v.witness(a)
-		// tau may be a partial sum (early break): recompute the exact
-		// load at the witness by evaluating every class there.
-		assign := v.e.fv.Scenario(links, routers)
-		exact := 0.0
-		for _, c := range classes {
-			exact += c.vol * m.Eval(c.w, assign)
-		}
-		if exact > val {
-			val = exact
-		}
-		rep.Violations = append(rep.Violations, Violation{
-			Kind: "link-load", Link: l, Value: val, Min: 0, Max: limit,
-			FailedLinks: links, FailedRouters: routers,
-		})
-	}
+	rep.Violations = append(rep.Violations, viols...)
 }
 
 // checkItem is one unit of governed property checking: a single

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/canon"
+	"github.com/yu-verify/yu/internal/config"
 )
 
 // FuzzBattery is the generator-seed harness: the fuzzer explores the
@@ -53,6 +55,61 @@ func FuzzDeltas(f *testing.F) {
 		rng := rand.New(rand.NewSource(deltaSeed))
 		if err := CheckDeltas(c, rng, int(n)); err != nil {
 			t.Fatalf("case seed %d, delta seed %d, n %d: %v", caseSeed, deltaSeed, n, err)
+		}
+	})
+}
+
+// FuzzTLPPortfolio is the portfolio-robustness harness: arbitrary
+// portfolio text against a generated network must either parse-error or
+// compile and evaluate cleanly — malformed portfolios are errors, never
+// panics, and evaluation of whatever parses must return one verdict per
+// property with in-budget witnesses. The corpus under
+// testdata/fuzz/FuzzTLPPortfolio pins both shapes: portfolios that
+// resolve against the generated r0…rN link names and ones that must be
+// rejected (unknown links, inverted bounds, junk keywords, misplaced
+// direction arrows).
+func FuzzTLPPortfolio(f *testing.F) {
+	f.Add(int64(1), "tlp util 0.9")
+	f.Add(int64(1), "tlp link r0-r1 max 50\ntlp delivered 100.0.0.0/24 min 1\ntlp ratio 100.0.0.0/16 min 0.5")
+	f.Add(int64(1), "tlp link r0-r1 max 10 if-failed r2-r3\ntlp dirlink r0->r1 max 10")
+	f.Add(int64(2), "tlp util 0.8 link r4-r5\n# comment\n\nlink r0-r5 min 0 max 20")
+	f.Add(int64(1), "tlp link rX-rY max 1")
+	f.Add(int64(1), "tlp link r0-r1 min 5 max 1")
+	f.Add(int64(1), "tlp frobnicate 1")
+	f.Add(int64(1), "tlp util -1\ntlp ratio notaprefix min 0.5")
+	f.Add(int64(1), "tlp link r0->r1 max 1\ntlp dirlink r0-r1 max 1")
+	f.Fuzz(func(t *testing.T, seed int64, text string) {
+		c, err := New(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		props, err := config.ParsePortfolioString(text, c.Spec.Net)
+		if err != nil {
+			return // rejection is the contract for malformed text; panics are not
+		}
+		res, err := yu.FromSpec(c.Spec).VerifyPortfolio(props, yu.VerifyOptions{
+			K: c.K, Mode: c.Mode, ModeSet: true, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: portfolio %q: %v", seed, text, err)
+		}
+		if len(res.Verdicts) != len(props) {
+			t.Fatalf("seed %d: %d verdicts for %d properties", seed, len(res.Verdicts), len(props))
+		}
+		for i, vd := range res.Verdicts {
+			if n := len(vd.FailedLinks) + len(vd.FailedRouters); n > c.K {
+				t.Fatalf("seed %d: property %d witness has %d failures, budget %d", seed, i, n, c.K)
+			}
+		}
+		for _, g := range res.Groups {
+			for _, pi := range g.Props {
+				if pi < 0 || pi >= len(props) {
+					t.Fatalf("seed %d: group references property %d of %d", seed, pi, len(props))
+				}
+			}
+		}
+		if canon.FormatPortfolio(c.Spec.Net, res) == "" {
+			t.Fatalf("seed %d: empty canonical report", seed)
 		}
 	})
 }

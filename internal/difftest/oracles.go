@@ -42,6 +42,7 @@ func Battery() []Oracle {
 		{"witness-revalidation", OracleWitnessRevalidation},
 		{"spec-round-trip", OracleSpecRoundTrip},
 		{"governance", OracleGovernance},
+		{"tlp-portfolio", OracleTLPPortfolio},
 	}
 }
 

@@ -1,0 +1,101 @@
+package mtbdd
+
+// ScanCheck is one interval predicate evaluated by ScanOutside: a hit is a
+// root-to-terminal path whose value falls outside the closed interval
+// [Lo, Hi] and whose failure count (variables assigned 0 on the path) does
+// not exceed MaxFails. MaxFails < 0 means unlimited.
+type ScanCheck struct {
+	Lo, Hi   float64
+	MaxFails int
+}
+
+// ScanHit is one check's outcome from ScanOutside.
+type ScanHit struct {
+	// OK reports that a path violating the check exists.
+	OK bool
+	// Value is the terminal value at the returned witness path.
+	Value float64
+	// A is the witness assignment (only the variables the path tested).
+	A Assignment
+}
+
+// scanUnreach marks "no violating terminal reachable" in the min-fails
+// table. Propagation can push values a few levels above it (lo+1 per
+// level), so it sits far below the int32 ceiling.
+const scanUnreach = int32(1) << 30
+
+// ScanOutside evaluates every check against f in one shared walk: a single
+// DFS over f's nodes computes, per node and per check, the minimal number
+// of failures on any path below reaching a violating terminal, and each
+// feasible check then extracts a witness by greedy descent preferring Hi
+// (alive) branches. This is the batch form of WitnessOutside — for a check
+// with unlimited MaxFails the returned witness assignment and value are
+// identical to WitnessOutside(f, Lo, Hi), because "some violating terminal
+// is reachable below Hi" and "Hi's min-fails is within an unlimited
+// budget" select the same branch at every step.
+//
+// Cost is O(nodes × len(checks)), one traversal regardless of how many
+// properties share the scan.
+func (m *Manager) ScanOutside(f *Node, checks []ScanCheck) []ScanHit {
+	k := len(checks)
+	out := make([]ScanHit, k)
+	if k == 0 {
+		return out
+	}
+	// minFails[n][i]: minimal count of Lo (failed) edges on any path from n
+	// to a terminal violating check i; >= scanUnreach if none.
+	memo := make(map[*Node][]int32)
+	var walk func(n *Node) []int32
+	walk = func(n *Node) []int32 {
+		if mf, ok := memo[n]; ok {
+			return mf
+		}
+		mf := make([]int32, k)
+		if n.IsTerminal() {
+			for i := range checks {
+				if n.Value < checks[i].Lo || n.Value > checks[i].Hi {
+					mf[i] = 0
+				} else {
+					mf[i] = scanUnreach
+				}
+			}
+		} else {
+			hi := walk(n.Hi)
+			lo := walk(n.Lo)
+			for i := range mf {
+				v := hi[i]
+				if lo[i]+1 < v {
+					v = lo[i] + 1
+				}
+				mf[i] = v
+			}
+		}
+		memo[n] = mf
+		return mf
+	}
+	root := walk(f)
+	for i := range checks {
+		budget := scanUnreach - 1
+		if checks[i].MaxFails >= 0 {
+			budget = int32(checks[i].MaxFails)
+		}
+		if root[i] > budget {
+			continue
+		}
+		a := make(Assignment)
+		n := f
+		rem := budget
+		for !n.IsTerminal() {
+			if memo[n.Hi][i] <= rem {
+				a[int(n.Level)] = true
+				n = n.Hi
+			} else {
+				a[int(n.Level)] = false
+				n = n.Lo
+				rem--
+			}
+		}
+		out[i] = ScanHit{OK: true, Value: n.Value, A: a}
+	}
+	return out
+}

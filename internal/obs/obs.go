@@ -310,4 +310,5 @@ var ServeCounterNames = []string{
 	"serve.panics",             // verification panics recovered by the daemon
 	"serve.rejected",           // requests refused by admission control (503)
 	"serve.timeouts",           // requests that hit their deadline (504)
+	"serve.tlp_requests",       // portfolio evaluations served via POST /v1/tlp
 }

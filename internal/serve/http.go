@@ -59,6 +59,8 @@ type errorResponse struct {
 //
 //	POST /v1/verify   verify current version, or reload {"spec": ...} and verify
 //	POST /v1/delta    apply {"deltas": [...]} atomically, return new version
+//	POST /v1/tlp      evaluate a TLP portfolio ({"portfolio": ...} or the
+//	                  spec's own tlp section) against the warm version
 //	GET  /v1/report   verification result of the current version
 //	GET  /v1/spec     canonical spec text (X-Yu-Version header)
 //	GET  /v1/metrics  obs registry snapshot
@@ -70,6 +72,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/delta", s.handleDelta)
+	mux.HandleFunc("/v1/tlp", s.handleTLP)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/spec", s.handleSpec)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)

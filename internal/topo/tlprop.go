@@ -1,0 +1,72 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// TLPKind discriminates the property families a portfolio can mix: the
+// paper's traffic load properties (§3.2) expressed over link loads,
+// utilization, and delivered traffic.
+type TLPKind int
+
+const (
+	// TLPLinkLoad bounds the traffic on one link (or one direction of it).
+	TLPLinkLoad TLPKind = iota
+	// TLPUtil bounds utilization: load must stay below Factor x capacity,
+	// on one link or (AllLinks) every link in the network.
+	TLPUtil
+	// TLPDelivered bounds the absolute traffic delivered into Prefix.
+	TLPDelivered
+	// TLPRatio bounds the delivery ratio: delivered traffic into Prefix
+	// divided by the traffic offered to it, in [Min, Max].
+	TLPRatio
+)
+
+// String implements fmt.Stringer.
+func (k TLPKind) String() string {
+	switch k {
+	case TLPLinkLoad:
+		return "link-load"
+	case TLPUtil:
+		return "util"
+	case TLPDelivered:
+		return "delivered"
+	case TLPRatio:
+		return "ratio"
+	}
+	return fmt.Sprintf("TLPKind(%d)", int(k))
+}
+
+// TLProp is one property in a portfolio. The zero value is not valid; use
+// the config portfolio parser or fill the fields for the chosen Kind:
+//
+//   - TLPLinkLoad: Link (+ Dir when DirSpecified), Min/Max in Gbps.
+//   - TLPUtil: Factor, plus Link/Dir or AllLinks. Max is derived per link
+//     as Factor x capacity; Min is unused.
+//   - TLPDelivered: Prefix, Min/Max in Gbps.
+//   - TLPRatio: Prefix, Min/Max as fractions of the offered traffic.
+//
+// Any property may be conditional: when CondSet is true the property is
+// checked only in scenarios where link CondLink is failed ("if A-B is
+// failed then ..."), over the remaining failure budget.
+type TLProp struct {
+	Kind TLPKind
+	// Link / Dir / DirSpecified select the subject link for TLPLinkLoad
+	// and single-link TLPUtil; without DirSpecified both directions are
+	// checked.
+	Link         LinkID
+	Dir          Direction
+	DirSpecified bool
+	// AllLinks widens a TLPUtil property to every link.
+	AllLinks bool
+	// Prefix is the destination prefix for TLPDelivered / TLPRatio.
+	Prefix netip.Prefix
+	// Min and Max bound the property's quantity (see Kind).
+	Min, Max float64
+	// Factor is the utilization factor for TLPUtil.
+	Factor float64
+	// CondSet guards the property on the failure of CondLink.
+	CondSet  bool
+	CondLink LinkID
+}

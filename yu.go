@@ -43,6 +43,7 @@ import (
 	"github.com/yu-verify/yu/internal/obs"
 	"github.com/yu-verify/yu/internal/routesim"
 	"github.com/yu-verify/yu/internal/spath"
+	"github.com/yu-verify/yu/internal/tlp"
 	"github.com/yu-verify/yu/internal/topo"
 )
 
@@ -89,6 +90,13 @@ type (
 	// FlowSTF is one flow's symbolic traffic fractions — the value an
 	// STFCache stores and serves.
 	FlowSTF = core.FlowSTF
+	// TLProp is one property of a portfolio evaluated by VerifyPortfolio:
+	// a link load, utilization, delivered-traffic, or delivery-ratio
+	// bound, optionally conditional on a link failure.
+	TLProp = topo.TLProp
+	// TLPResult is a portfolio evaluation outcome: per-property verdicts
+	// plus violations grouped by witness failure set and ranked by excess.
+	TLPResult = tlp.Result
 )
 
 // NewMetrics returns an empty metrics registry to attach to a run via
@@ -405,6 +413,76 @@ func (n *Network) markAllUnchecked(out *Report, overloadFactor float64) {
 	}
 	out.Incomplete = true
 	out.Holds = false
+}
+
+// VerifyPortfolio evaluates a property portfolio with the batch TLP
+// engine (EngineYU only): one symbolic execution serves every property,
+// each directed link's load aggregated and terminal-scanned exactly once
+// however many properties ride on it. Options are honored as in Verify
+// (K/Mode/Flows overrides, Workers, governance, Obs, STFCache); the
+// portfolio itself replaces the spec's legacy properties. The result is
+// byte-stable across worker counts (canon.FormatPortfolio).
+//
+// Like Verify, a governed abort returns the typed error together with a
+// partial result whose undecided properties are StatusUnchecked.
+func (n *Network) VerifyPortfolio(props []TLProp, opts VerifyOptions) (*TLPResult, error) {
+	k := n.spec.K
+	if opts.K > 0 {
+		k = opts.K
+	}
+	mode := n.spec.Mode
+	if opts.ModeSet {
+		mode = opts.Mode
+	}
+	flows := n.spec.Flows
+	if opts.Flows != nil {
+		flows = opts.Flows
+	}
+	port, err := tlp.Compile(n.spec.Net, flows, props)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	budget := k
+	checkK := 0
+	if opts.DisableKReduce {
+		budget = -1
+		checkK = k
+	}
+	m := mtbdd.New()
+	fv := routesim.NewFailVars(m, n.spec.Net, mode, budget)
+	if opts.MaxNodes > 0 {
+		m.SetNodeBudget(opts.MaxNodes)
+	}
+	rs, err := routesim.RunContext(opts.Ctx, fv, n.spec.Configs)
+	opts.Obs.AddPhase("routesim", time.Since(start))
+	if err != nil {
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrNodeBudget) {
+			core.RecordManager(opts.Obs, "primary", m)
+			return tlp.AllUnchecked(props), err
+		}
+		return nil, err
+	}
+	eng := core.NewEngine(rs, core.Options{
+		DisableLinkLocalEquiv: opts.DisableLinkLocalEquiv,
+		DisableGlobalEquiv:    opts.DisableGlobalEquiv,
+		CheckK:                checkK,
+		Ctx:                   opts.Ctx,
+		NodeBudget:            opts.MaxNodes,
+		OnBudget:              opts.OnBudget,
+		Configs:               n.spec.Configs,
+		Obs:                   opts.Obs,
+		CostHints:             opts.CostHints,
+		STFCache:              opts.STFCache,
+	})
+	ver := core.NewParallelVerifier(eng, flows, opts.Workers)
+	if verr := ver.Err(); verr != nil {
+		core.RecordManager(opts.Obs, "primary", eng.Manager())
+		return tlp.AllUnchecked(props), verr
+	}
+	res, err := port.Eval(ver, opts.Obs)
+	core.RecordManager(opts.Obs, "primary", eng.Manager())
+	return res, err
 }
 
 func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
