@@ -6,7 +6,8 @@
 //	yu verify [-k N] [-mode links|routers|both] [-overload FACTOR]
 //	          [-engine yu|enumerate|spath] [-no-kreduce] [-no-equiv]
 //	          [-workers N] [-timeout D] [-max-nodes N]
-//	          [-on-budget fail|degrade] [-stats] [-metrics json|text]
+//	          [-on-budget fail|degrade] [-domains spec|NAME:R1,R2;...]
+//	          [-auto-domains N] [-stats] [-metrics json|text]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE] spec.yu
 //	yu show spec.yu
 //
@@ -81,6 +82,8 @@ type verifyConfig struct {
 	engine     yu.Engine
 	onBudget   yu.BudgetPolicy
 	metrics    string // "", "json", or "text"
+	domains    string // "", "spec", or "name:R1,R2;name2:R3,..."
+	autoDoms   int
 	cpuprofile string
 	memprofile string
 	traceFile  string
@@ -153,6 +156,8 @@ func parseVerifyFlags(args []string, eh flag.ErrorHandling) (*verifyConfig, erro
 		}
 		return nil
 	})
+	fs.StringVar(&cfg.domains, "domains", "", "compositional verification: 'spec' (use the spec's domain lines) or an explicit NAME:R1,R2;NAME2:R3,... partition (yu engine)")
+	fs.IntVar(&cfg.autoDoms, "auto-domains", 0, "compositional verification: auto-partition into up to N AS-closed domains (yu engine)")
 	fs.StringVar(&cfg.tlpFile, "tlp", "", "evaluate the TLP portfolio FILE with the batch engine instead of the spec's properties")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to FILE at exit")
@@ -285,6 +290,26 @@ func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
 		defer cancel()
 		opts.Ctx = ctx
 	}
+	if cfg.domains != "" || cfg.autoDoms > 0 {
+		if cfg.engine != yu.EngineYU {
+			return fail(errors.New("-domains/-auto-domains require the yu engine"))
+		}
+		switch {
+		case cfg.domains == "spec":
+			if len(net.Spec().Domains) == 0 {
+				return fail(errors.New("-domains spec: the spec declares no domain lines"))
+			}
+			opts.Domains = net.Spec().Domains
+		case cfg.domains != "":
+			doms, derr := parseDomainsFlag(cfg.domains)
+			if derr != nil {
+				return fail(fmt.Errorf("-domains: %w", derr))
+			}
+			opts.Domains = doms
+		default:
+			opts.AutoDomains = cfg.autoDoms
+		}
+	}
 	if cfg.tlpFile != "" {
 		// Portfolio mode: the batch TLP engine evaluates the portfolio
 		// file from one symbolic run and prints the canonical report.
@@ -364,6 +389,12 @@ func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
 	}
 	if cfg.stats {
 		fmt.Fprintf(stdout, "flows: %d input, %d executed\n", rep.FlowsTotal, rep.FlowsExecuted)
+		if m := rep.Modular; m != nil {
+			fmt.Fprintf(stdout, "modular: %d domains, %d border links, %d rounds (converged=%v)\n",
+				m.Domains, m.BorderLinks, m.Rounds, m.Converged)
+			fmt.Fprintf(stdout, "  classes: %d contained, %d fallback; domain peak nodes: %d\n",
+				m.ContainedClasses, m.FallbackClasses, m.DomainPeakNodes)
+		}
 		for _, f := range rep.DegradedFlows {
 			fmt.Fprintf(stdout, "  degraded to concrete enumeration: %s\n", f)
 		}
@@ -402,6 +433,40 @@ func runVerify(cfg *verifyConfig, stdout, stderr io.Writer) (code int) {
 		return 1
 	}
 	return code
+}
+
+// parseDomainsFlag parses the explicit -domains partition syntax:
+// semicolon-separated domains, each NAME:R1,R2,... Validation of the
+// partition itself (coverage, AS-closure) happens inside Verify.
+func parseDomainsFlag(s string) (map[string][]string, error) {
+	doms := make(map[string][]string)
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, routers, ok := strings.Cut(part, ":")
+		if !ok || name == "" || routers == "" {
+			return nil, fmt.Errorf("bad domain %q, want NAME:R1,R2,...", part)
+		}
+		if _, dup := doms[name]; dup {
+			return nil, fmt.Errorf("duplicate domain %q", name)
+		}
+		var rs []string
+		for _, r := range strings.Split(routers, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				rs = append(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("domain %q names no routers", name)
+		}
+		doms[name] = rs
+	}
+	if len(doms) == 0 {
+		return nil, fmt.Errorf("no domains in %q", s)
+	}
+	return doms, nil
 }
 
 func plural(n int, one, many string) string {

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|scaling|overhead|kernels|tlp|all
+//	yubench -exp table3|table4|fig11|fig12|fig13|fig15|fig17|workers|scaling|overhead|kernels|tlp|modular|all
 //	        [-scale quick|full] [-baseline-budget 30s]
 //	        [-workers 1,2,4,8] [-rounds 3] [-json TAG] [-require-speedup]
-//	        [-require-tlp-sharing]
+//	        [-require-tlp-sharing] [-require-modular-speedup]
 //
 // Quick scale finishes in minutes; full scale uses the paper's Table 3
 // router/link counts and can run for hours single-threaded. Baseline
@@ -24,7 +24,12 @@
 // composed build-then-reduce pipeline on N0; the tlp experiment sweeps
 // batch-portfolio sizes {1,100,1000} on the medium WAN and with
 // -require-tlp-sharing gates CI on the 1000-property run finishing in
-// under twice the 1-property run (the scan-sharing contract); -json TAG
+// under twice the 1-property run (the scan-sharing contract); the modular
+// experiment compares compositional verification (domain decomposition
+// with interface summaries) against the monolithic pipeline on the
+// multi-domain wan-1 workload, unbudgeted and under the node budget that
+// only the modular pipeline survives, and with -require-modular-speedup
+// gates CI on that separation (skipped below 4 cores); -json TAG
 // additionally writes the measurements to BENCH_TAG.json for machine
 // consumption.
 package main
@@ -44,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, scaling, overhead, kernels, tlp, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table3, table4, fig11, fig12, fig13, fig15, fig17, workers, scaling, overhead, kernels, tlp, modular, or all")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	budget := flag.Duration("baseline-budget", 60*time.Second, "per-cell time budget for baseline engines")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the workers experiment")
@@ -54,6 +59,8 @@ func main() {
 		"after the scaling experiment, fail unless 4 workers beat 1 worker by >10% on exec+check (skipped when GOMAXPROCS < 4)")
 	requireTLPSharing := flag.Bool("require-tlp-sharing", false,
 		"after the tlp experiment, fail unless the largest portfolio finishes in under 2x the smallest's wall time")
+	requireModular := flag.Bool("require-modular-speedup", false,
+		"after the modular experiment, fail unless the node budget kills the monolithic run while the modular run verifies with smaller per-domain state (skipped when GOMAXPROCS < 4)")
 	flag.Parse()
 
 	workersList, err := parseWorkers(*workersFlag)
@@ -124,6 +131,14 @@ func main() {
 			records = append(records, rs...)
 			return nil
 		},
+		"modular": func() error {
+			rs, err := bench.ModularSweep(os.Stdout, scale)
+			if err != nil {
+				return err
+			}
+			records = append(records, rs...)
+			return nil
+		},
 		"table3": func() error { return bench.Table3(os.Stdout, scale) },
 		"table4": func() error { return bench.Table4(os.Stdout, scale, *budget) },
 		"fig11":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailLinks, *budget) },
@@ -132,7 +147,7 @@ func main() {
 		"fig15":  func() error { return bench.Fig15and16(os.Stdout, scale, *budget) },
 		"fig17":  func() error { return bench.Fig11(os.Stdout, scale, topo.FailRouters, *budget) },
 	}
-	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "scaling", "overhead", "kernels", "tlp"}
+	order := []string{"table1", "table3", "fig11", "fig12", "fig13", "fig15", "fig17", "table4", "workers", "scaling", "overhead", "kernels", "tlp", "modular"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -168,6 +183,12 @@ func main() {
 
 	if *requireTLPSharing {
 		if err := bench.CheckTLPSharing(os.Stdout, records); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *requireModular {
+		if err := bench.CheckModularSpeedup(os.Stdout, records); err != nil {
 			fatal(err)
 		}
 	}

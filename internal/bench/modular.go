@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/yu-verify/yu"
+	"github.com/yu-verify/yu/internal/gen"
+)
+
+// modularCase sizes the wan-1 workload (testdata/wan-1.yu is the Quick
+// sizing) and picks the node budget that separates the pipelines: small
+// enough that monolithic route simulation cannot hold it even after a
+// managed GC, large enough that every per-domain manager fits.
+func modularCase(scale Scale) (gen.MultiDomainSpec, int) {
+	if scale == Full {
+		return gen.MultiDomainSpec{Domains: 8, RoutersPer: 20, PrefixesPer: 6, FlowsPer: 16, Seed: 20, K: 2}, 60000
+	}
+	return gen.MultiDomainSpec{Domains: 4, RoutersPer: 12, PrefixesPer: 4, FlowsPer: 8, Seed: 20, K: 2}, 16000
+}
+
+// ModularSweep measures compositional verification against the monolithic
+// pipeline on the multi-domain WAN workload, unbudgeted and under the
+// separating node budget. The claim being demonstrated: the modular
+// pipeline's peak per-manager MTBDD state is a fraction of the monolithic
+// peak, so a node budget that drives the monolithic run to ErrNodeBudget
+// still verifies compositionally — the scaling wall the decomposition
+// breaks.
+func ModularSweep(w io.Writer, scale Scale) ([]BenchRecord, error) {
+	ms, budget := modularCase(scale)
+	spec, err := gen.MultiDomain(ms)
+	if err != nil {
+		return nil, err
+	}
+	n := yu.FromSpec(spec)
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "Modular sweep: wan-1 (%d domains x %d routers), %d flows, k=%d link failures, workers=%d\n",
+		ms.Domains, ms.RoutersPer, len(spec.Flows), ms.K, workers)
+	fmt.Fprintf(w, "%-24s %12s %14s %12s %14s\n", "pipeline", "budget", "wall", "live nodes", "outcome")
+
+	var records []BenchRecord
+	var monoWall, modWall time.Duration
+	var monoNodes int
+	run := func(name string, modular bool, maxNodes int) error {
+		opts := yu.VerifyOptions{K: ms.K, Workers: workers, MaxNodes: maxNodes}
+		if modular {
+			opts.Domains = spec.Domains
+		}
+		start := time.Now()
+		rep, err := n.Verify(opts)
+		wall := time.Since(start)
+		outcome := "verified"
+		switch {
+		case errors.Is(err, yu.ErrNodeBudget):
+			outcome = "node-budget"
+		case err != nil:
+			return fmt.Errorf("%s: %w", name, err)
+		case !rep.Holds:
+			outcome = "violated"
+		}
+		rec := BenchRecord{
+			Experiment:      "modular",
+			Case:            name,
+			K:               ms.K,
+			Mode:            spec.Mode.String(),
+			Workers:         workers,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			WallMS:          float64(wall.Microseconds()) / 1000,
+			MaxNodes:        maxNodes,
+			Outcome:         outcome,
+			PeakUniqueNodes: rep.MTBDDNodes,
+		}
+		nodes := rep.MTBDDNodes
+		if rep.Modular != nil {
+			rec.DomainPeakNodes = rep.Modular.DomainPeakNodes
+			rec.FallbackClasses = rep.Modular.FallbackClasses
+			if rec.DomainPeakNodes > nodes {
+				nodes = rec.DomainPeakNodes
+			}
+		}
+		if !modular {
+			rec.FlowsExecuted = rep.FlowsExecuted
+			if maxNodes == 0 {
+				monoWall, monoNodes = wall, nodes
+			}
+		} else if maxNodes == 0 {
+			modWall = wall
+		}
+		if monoWall > 0 && modular {
+			rec.Speedup = float64(monoWall) / float64(wall)
+		}
+		records = append(records, rec)
+		fmt.Fprintf(w, "%-24s %12s %14s %12d %14s\n",
+			name, fmtBudget(maxNodes), fmtDur(wall, false), nodes, outcome)
+		return nil
+	}
+	if err := run("monolithic", false, 0); err != nil {
+		return nil, err
+	}
+	if err := run("modular", true, 0); err != nil {
+		return nil, err
+	}
+	if err := run("monolithic", false, budget); err != nil {
+		return nil, err
+	}
+	if err := run("modular", true, budget); err != nil {
+		return nil, err
+	}
+	if monoWall > 0 && modWall > 0 {
+		fmt.Fprintf(w, "unbudgeted wall ratio (mono/modular): %.2fx; monolithic live nodes: %d\n",
+			float64(monoWall)/float64(modWall), monoNodes)
+	}
+	return records, nil
+}
+
+func fmtBudget(n int) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// CheckModularSpeedup is the CI gate behind -require-modular-speedup: on
+// hosts with at least 4 cores, the budgeted monolithic run must have hit
+// ErrNodeBudget while the budgeted modular run verified, and the modular
+// per-domain peak must stay below the monolithic live-node count — the
+// decomposition's reason to exist. Below 4 cores the gate is skipped (the
+// domain fan-out has no parallelism to show).
+func CheckModularSpeedup(w io.Writer, records []BenchRecord) error {
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		fmt.Fprintf(w, "modular gate: skipped (GOMAXPROCS=%d < 4)\n", procs)
+		return nil
+	}
+	var monoFree, monoBudget, modBudget *BenchRecord
+	for i := range records {
+		r := &records[i]
+		if r.Experiment != "modular" {
+			continue
+		}
+		switch {
+		case r.Case == "monolithic" && r.MaxNodes == 0:
+			monoFree = r
+		case r.Case == "monolithic" && r.MaxNodes > 0:
+			monoBudget = r
+		case r.Case == "modular" && r.MaxNodes > 0:
+			modBudget = r
+		}
+	}
+	if monoFree == nil || monoBudget == nil || modBudget == nil {
+		return fmt.Errorf("modular gate: records missing (run -exp modular first)")
+	}
+	if monoBudget.Outcome != "node-budget" {
+		return fmt.Errorf("modular gate: budgeted monolithic run finished %q, want node-budget — the budget no longer separates the pipelines", monoBudget.Outcome)
+	}
+	if modBudget.Outcome != "verified" {
+		return fmt.Errorf("modular gate: budgeted modular run finished %q, want verified", modBudget.Outcome)
+	}
+	if modBudget.FallbackClasses > 0 {
+		return fmt.Errorf("modular gate: %d classes fell back to monolithic execution on the contained workload", modBudget.FallbackClasses)
+	}
+	if modBudget.DomainPeakNodes >= monoFree.PeakUniqueNodes {
+		return fmt.Errorf("modular gate: domain peak %d nodes >= monolithic %d — decomposition is not reducing state",
+			modBudget.DomainPeakNodes, monoFree.PeakUniqueNodes)
+	}
+	fmt.Fprintf(w, "modular gate: OK (domain peak %d vs monolithic %d live nodes; budget %d kills monolithic only)\n",
+		modBudget.DomainPeakNodes, monoFree.PeakUniqueNodes, monoBudget.MaxNodes)
+	return nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func modularRecords(monoOutcome, modOutcome string, domainPeak, fallback int) []BenchRecord {
+	return []BenchRecord{
+		{Experiment: "modular", Case: "monolithic", MaxNodes: 0, Outcome: "verified", PeakUniqueNodes: 35000},
+		{Experiment: "modular", Case: "modular", MaxNodes: 0, Outcome: "verified", DomainPeakNodes: domainPeak},
+		{Experiment: "modular", Case: "monolithic", MaxNodes: 16000, Outcome: monoOutcome, PeakUniqueNodes: 16000},
+		{Experiment: "modular", Case: "modular", MaxNodes: 16000, Outcome: modOutcome,
+			DomainPeakNodes: domainPeak, FallbackClasses: fallback},
+	}
+}
+
+// withProcs runs fn with GOMAXPROCS pinned so the gate's core check is
+// deterministic regardless of the test host.
+func withProcs(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+func TestCheckModularSpeedupPasses(t *testing.T) {
+	withProcs(4, func() {
+		var sb strings.Builder
+		if err := CheckModularSpeedup(&sb, modularRecords("node-budget", "verified", 9000, 0)); err != nil {
+			t.Fatalf("gate failed on separating records: %v", err)
+		}
+		if !strings.Contains(sb.String(), "OK") {
+			t.Fatalf("gate output missing OK: %q", sb.String())
+		}
+	})
+}
+
+func TestCheckModularSpeedupFailures(t *testing.T) {
+	cases := []struct {
+		name    string
+		records []BenchRecord
+		want    string
+	}{
+		{"monolithic survived budget", modularRecords("verified", "verified", 9000, 0), "node-budget"},
+		{"modular hit budget too", modularRecords("node-budget", "node-budget", 9000, 0), "want verified"},
+		{"summaries lost precision", modularRecords("node-budget", "verified", 9000, 3), "fell back"},
+		{"no state reduction", modularRecords("node-budget", "verified", 40000, 0), "not reducing"},
+		{"records missing", nil, "records missing"},
+	}
+	withProcs(4, func() {
+		for _, tc := range cases {
+			var sb strings.Builder
+			err := CheckModularSpeedup(&sb, tc.records)
+			if err == nil {
+				t.Errorf("%s: gate passed, want failure", tc.name)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+			}
+		}
+	})
+}
+
+func TestCheckModularSpeedupSkipsBelowFourCores(t *testing.T) {
+	withProcs(2, func() {
+		var sb strings.Builder
+		// Even records that would fail the gate are ignored when skipped.
+		if err := CheckModularSpeedup(&sb, modularRecords("verified", "node-budget", 40000, 5)); err != nil {
+			t.Fatalf("gate should skip below 4 cores: %v", err)
+		}
+		if !strings.Contains(sb.String(), "skipped") {
+			t.Fatalf("skip message missing: %q", sb.String())
+		}
+	})
+}

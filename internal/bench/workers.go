@@ -61,6 +61,16 @@ type BenchRecord struct {
 	// run's wall-time cost relative to its paired bare run, in percent
 	// (best-of-rounds on both sides).
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	// MaxNodes is the live-node budget the run was held to (modular
+	// experiment; 0 = unlimited), and Outcome how it ended: "verified",
+	// "violated", or "node-budget".
+	MaxNodes int    `json:"max_nodes,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	// DomainPeakNodes and FallbackClasses mirror yu.ModularStats for
+	// compositional runs: the largest per-domain manager and the classes
+	// that escaped their domain's summary precision.
+	DomainPeakNodes int `json:"domain_peak_nodes,omitempty"`
+	FallbackClasses int `json:"fallback_classes,omitempty"`
 	// Metrics, when the run was instrumented, is the obs.Registry
 	// snapshot: per-phase durations, per-cache hit/miss counters, and
 	// per-manager node statistics.

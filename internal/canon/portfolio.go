@@ -51,6 +51,12 @@ func writeProp(sb *strings.Builder, net *topo.Network, p topo.TLProp) {
 	case topo.TLPRatio:
 		fmt.Fprintf(sb, "ratio %s", p.Prefix)
 		writeBounds(sb, p.Min, p.Max)
+	case topo.TLPSumLoad:
+		fmt.Fprintf(sb, "sumload %s", p.SetName)
+		writeBounds(sb, p.Min, p.Max)
+	case topo.TLPMaxLoad:
+		fmt.Fprintf(sb, "maxload %s", p.SetName)
+		writeBounds(sb, p.Min, p.Max)
 	default:
 		fmt.Fprintf(sb, "unknown-kind-%d", int(p.Kind))
 	}
@@ -97,8 +103,14 @@ func FormatPortfolio(net *topo.Network, r *tlp.Result) string {
 		writeProp(&sb, net, r.Props[i])
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "scans link %d delivered %d restrict %d checks %d\n",
+	fmt.Fprintf(&sb, "scans link %d delivered %d restrict %d checks %d",
 		r.Stats.LinkScans, r.Stats.DeliveredScans, r.Stats.RestrictScans, r.Stats.Checks)
+	if r.Stats.AggScans > 0 {
+		// Printed only when aggregates exist so historical portfolio
+		// renderings stay byte-identical.
+		fmt.Fprintf(&sb, " agg %d", r.Stats.AggScans)
+	}
+	sb.WriteByte('\n')
 	if r.Incomplete {
 		sb.WriteString("incomplete true\n")
 	}
@@ -112,6 +124,7 @@ func portfolioLinks(p topo.TLProp) []topo.LinkID {
 	if p.Kind == topo.TLPLinkLoad || (p.Kind == topo.TLPUtil && !p.AllLinks) {
 		out = append(out, p.Link)
 	}
+	out = append(out, p.AggLinks...)
 	if p.CondSet {
 		out = append(out, p.CondLink)
 	}

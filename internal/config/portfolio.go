@@ -15,10 +15,11 @@ import (
 // pendingTLP is one parsed-but-unresolved `tlp` line; router names are
 // resolved against the network once it exists.
 type pendingTLP struct {
-	kind         string // "link", "dirlink", "util", "delivered", "ratio"
+	kind         string // "link", "dirlink", "util", "delivered", "ratio", "sumload", "maxload"
 	a, b         string // subject link endpoints (link/dirlink/util)
 	directed     bool   // subject named one direction (A->B)
 	allLinks     bool   // util without a subject link
+	setName      string // subject linkset (sumload/maxload)
 	pfx          netip.Prefix
 	min, max     float64
 	factor       float64
@@ -33,10 +34,14 @@ type pendingTLP struct {
 //	tlp util F [link A-B | dirlink A->B] [if-failed C-D]
 //	tlp delivered PREFIX [min G] [max G] [if-failed C-D]
 //	tlp ratio PREFIX [min R] [max R] [if-failed C-D]
+//	tlp sumload SET [min G] [max G] [if-failed C-D]
+//	tlp maxload SET [min G] [max G] [if-failed C-D]
+//
+// SET names a `linkset` declared in the same spec (or portfolio file).
 func parseTLPLine(f []string) (pendingTLP, error) {
 	pt := pendingTLP{min: 0, max: math.Inf(1)}
 	if len(f) < 2 {
-		return pt, fmt.Errorf("usage: tlp (link A-B | dirlink A->B | util F [link A-B] | delivered PFX | ratio PFX) [min G] [max G] [if-failed C-D]")
+		return pt, fmt.Errorf("usage: tlp (link A-B | dirlink A->B | util F [link A-B] | delivered PFX | ratio PFX | sumload SET | maxload SET) [min G] [max G] [if-failed C-D]")
 	}
 	pt.kind = f[0]
 	switch f[0] {
@@ -65,8 +70,10 @@ func parseTLPLine(f []string) (pendingTLP, error) {
 			return pt, err
 		}
 		pt.pfx = pfx.Masked()
+	case "sumload", "maxload":
+		pt.setName = f[1]
 	default:
-		return pt, fmt.Errorf("tlp wants 'link', 'dirlink', 'util', 'delivered', or 'ratio', got %q", f[0])
+		return pt, fmt.Errorf("tlp wants 'link', 'dirlink', 'util', 'delivered', 'ratio', 'sumload', or 'maxload', got %q", f[0])
 	}
 	rest := f[2:]
 	for len(rest) > 0 {
@@ -143,8 +150,9 @@ func splitDirLinkName(s string) (a, b string, ok bool) {
 	return parts[0], parts[1], true
 }
 
-// resolveTLP binds a parsed `tlp` line to the built network.
-func resolveTLP(net *topo.Network, pt pendingTLP) (topo.TLProp, error) {
+// resolveTLP binds a parsed `tlp` line to the built network; sets supplies
+// the named link sets aggregate properties refer to.
+func resolveTLP(net *topo.Network, sets map[string][]topo.LinkID, pt pendingTLP) (topo.TLProp, error) {
 	var prop topo.TLProp
 	switch pt.kind {
 	case "link", "dirlink":
@@ -159,6 +167,18 @@ func resolveTLP(net *topo.Network, pt pendingTLP) (topo.TLProp, error) {
 	case "ratio":
 		prop.Kind = topo.TLPRatio
 		prop.Prefix = pt.pfx
+	case "sumload", "maxload":
+		if pt.kind == "sumload" {
+			prop.Kind = topo.TLPSumLoad
+		} else {
+			prop.Kind = topo.TLPMaxLoad
+		}
+		links, ok := sets[pt.setName]
+		if !ok {
+			return prop, fmt.Errorf("unknown linkset %q", pt.setName)
+		}
+		prop.SetName = pt.setName
+		prop.AggLinks = links
 	default:
 		return prop, fmt.Errorf("unknown tlp kind %q", pt.kind)
 	}
@@ -191,9 +211,12 @@ func resolveTLP(net *topo.Network, pt pendingTLP) (topo.TLProp, error) {
 // ParsePortfolio reads a standalone portfolio file — `tlp` lines resolved
 // against an existing network, the payload format of `yu verify -tlp` and
 // the daemon's /v1/tlp endpoint. The leading `tlp` keyword on each line is
-// optional; '#' comments and blank lines are ignored.
+// optional; `linkset NAME A-B ...` lines declare the link sets aggregate
+// properties below them refer to; '#' comments and blank lines are
+// ignored.
 func ParsePortfolio(r io.Reader, net *topo.Network) ([]topo.TLProp, error) {
 	var props []topo.TLProp
+	sets := make(map[string][]topo.LinkID)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lineno := 0
@@ -207,6 +230,28 @@ func ParsePortfolio(r io.Reader, net *topo.Network) ([]topo.TLProp, error) {
 		if len(fields) == 0 {
 			continue
 		}
+		if fields[0] == "linkset" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: usage: linkset NAME A-B [C-D...]", lineno)
+			}
+			if _, dup := sets[fields[1]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate linkset %q", lineno, fields[1])
+			}
+			var links []topo.LinkID
+			for _, lname := range fields[2:] {
+				a, b, ok := splitLinkName(lname)
+				if !ok {
+					return nil, fmt.Errorf("line %d: bad link %q, want A-B", lineno, lname)
+				}
+				l, lok := net.FindLink(a, b)
+				if !lok {
+					return nil, fmt.Errorf("line %d: no link %s-%s", lineno, a, b)
+				}
+				links = append(links, l.ID)
+			}
+			sets[fields[1]] = links
+			continue
+		}
 		if fields[0] == "tlp" {
 			fields = fields[1:]
 		}
@@ -214,7 +259,7 @@ func ParsePortfolio(r io.Reader, net *topo.Network) ([]topo.TLProp, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineno, err)
 		}
-		prop, err := resolveTLP(net, pt)
+		prop, err := resolveTLP(net, sets, pt)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineno, err)
 		}

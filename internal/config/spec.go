@@ -25,8 +25,17 @@ type Spec struct {
 	// the batch TLP engine (internal/tlp) rather than the legacy
 	// per-property checks.
 	Portfolio []topo.TLProp
-	K         int
-	Mode      topo.FailureMode
+	// Domains is the operator's compositional partition (`domain` lines):
+	// domain name → member router names. Empty when the spec declares
+	// none; validated against the topology (every router in exactly one
+	// domain, domains AS-closed) only when a verification run actually
+	// uses it (topo.NewPartition).
+	Domains map[string][]string
+	// LinkSets holds named link sets (`linkset` lines), the subjects of
+	// aggregate `tlp sumload` / `tlp maxload` properties.
+	LinkSets map[string][]topo.LinkID
+	K        int
+	Mode     topo.FailureMode
 }
 
 // ParseSpec reads the textual network specification format:
@@ -96,6 +105,8 @@ type specParser struct {
 	flows    []pendingFlow
 	props    []pendingProp
 	tlps     []pendingTLP
+	domains  []pendingDomain
+	linksets []pendingLinkset
 	autoMesh bool
 
 	cur      *Router   // active "config X" block
@@ -108,6 +119,16 @@ type specParser struct {
 type pendingFlow struct {
 	flow    topo.Flow
 	ingress string
+}
+
+type pendingDomain struct {
+	name    string
+	routers []string
+}
+
+type pendingLinkset struct {
+	name  string
+	links []string // "A-B" link names, resolved at finish
 }
 
 type pendingProp struct {
@@ -143,6 +164,28 @@ func (p *specParser) line(f []string) error {
 			return err
 		}
 		p.tlps = append(p.tlps, pt)
+		return nil
+	case "domain":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: domain NAME ROUTER [ROUTER...]")
+		}
+		for _, d := range p.domains {
+			if d.name == f[1] {
+				return fmt.Errorf("duplicate domain %q", f[1])
+			}
+		}
+		p.domains = append(p.domains, pendingDomain{name: f[1], routers: f[2:]})
+		return nil
+	case "linkset":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: linkset NAME A-B [C-D...]")
+		}
+		for _, ls := range p.linksets {
+			if ls.name == f[1] {
+				return fmt.Errorf("duplicate linkset %q", f[1])
+			}
+		}
+		p.linksets = append(p.linksets, pendingLinkset{name: f[1], links: f[2:]})
 		return nil
 	case "failures":
 		return p.failures(f[1:])
@@ -561,8 +604,37 @@ func (p *specParser) finish() (*Spec, error) {
 			spec.Props = append(spec.Props, topo.LoadBound{Link: l.ID, Min: pp.min, Max: pp.max})
 		}
 	}
+	for _, pd := range p.domains {
+		for _, rname := range pd.routers {
+			if _, ok := net.RouterByName(rname); !ok {
+				return nil, fmt.Errorf("domain %s: unknown router %q", pd.name, rname)
+			}
+		}
+		if spec.Domains == nil {
+			spec.Domains = make(map[string][]string)
+		}
+		spec.Domains[pd.name] = pd.routers
+	}
+	for _, pl := range p.linksets {
+		var links []topo.LinkID
+		for _, lname := range pl.links {
+			a, b, ok := splitLinkName(lname)
+			if !ok {
+				return nil, fmt.Errorf("linkset %s: bad link %q, want A-B", pl.name, lname)
+			}
+			l, lok := net.FindLink(a, b)
+			if !lok {
+				return nil, fmt.Errorf("linkset %s: no link %s-%s", pl.name, a, b)
+			}
+			links = append(links, l.ID)
+		}
+		if spec.LinkSets == nil {
+			spec.LinkSets = make(map[string][]topo.LinkID)
+		}
+		spec.LinkSets[pl.name] = links
+	}
 	for i, pt := range p.tlps {
-		prop, err := resolveTLP(net, pt)
+		prop, err := resolveTLP(net, spec.LinkSets, pt)
 		if err != nil {
 			return nil, fmt.Errorf("tlp %d: %w", i+1, err)
 		}

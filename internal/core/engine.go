@@ -99,6 +99,13 @@ type Options struct {
 	// executed STF — the reuse hook of the incremental daemon
 	// (internal/serve). See the STFCache interface contract.
 	STFCache STFCache
+	// ClassifyPrefixes, when non-nil, overrides the prefix set the
+	// destination classifier is built from. The compositional pipeline
+	// (internal/compose) passes the global prefix union here so a
+	// domain engine — and the final check engine over an empty route-sim
+	// result — classifies destinations exactly as the monolithic engine
+	// would, keeping equivalence classes and their order identical.
+	ClassifyPrefixes []netip.Prefix
 }
 
 // Engine executes flows symbolically against one route-simulation result.
@@ -131,7 +138,7 @@ func NewEngine(rs *routesim.Result, opts Options) *Engine {
 		srCache:  make(map[srKey]*step),
 	}
 	installGovernance(e.m, opts)
-	e.classifier = newClassifier(rs)
+	e.classifier = newClassifier(rs, opts.ClassifyPrefixes)
 	e.maxIter = opts.MaxIterations
 	if e.maxIter <= 0 {
 		longestSR := 0
@@ -173,16 +180,22 @@ type classifier struct {
 	members  [][]netip.Prefix
 }
 
-func newClassifier(rs *routesim.Result) *classifier {
+func newClassifier(rs *routesim.Result, override []netip.Prefix) *classifier {
 	set := make(map[netip.Prefix]struct{})
-	for _, rib := range rs.BGP.RIBs {
-		for pfx := range rib {
+	if override != nil || rs == nil {
+		for _, pfx := range override {
 			set[pfx] = struct{}{}
 		}
-	}
-	for _, sts := range rs.Statics {
-		for _, st := range sts {
-			set[st.Prefix] = struct{}{}
+	} else {
+		for _, rib := range rs.BGP.RIBs {
+			for pfx := range rib {
+				set[pfx] = struct{}{}
+			}
+		}
+		for _, sts := range rs.Statics {
+			for _, st := range sts {
+				set[st.Prefix] = struct{}{}
+			}
 		}
 	}
 	c := &classifier{

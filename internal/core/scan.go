@@ -307,6 +307,38 @@ func (v *Verifier) ScanDelivered(pfx netip.Prefix, checks []LinkCheck) ([]ScanRe
 	return res, stat, restricts
 }
 
+// ScanAggregate aggregates the loads of a set of directed links into one
+// symbolic quantity — their pointwise sum (total traffic crossing a cut)
+// or pointwise max (the worst-loaded member) — and evaluates every check
+// against it in one shared terminal scan. Each member link's load is
+// aggregated exactly as ScanLink does; the cross-link combine runs on the
+// fused k-budgeted kernels (AddNK / MaxK), so every intermediate stays
+// within the KReduce'd size envelope.
+func (v *Verifier) ScanAggregate(links []topo.DirLinkID, max bool, checks []LinkCheck) ([]ScanResult, LinkCheckStat, int) {
+	sc := v.primaryScan()
+	start := time.Now()
+	stat := LinkCheckStat{Kind: "aggregate"}
+	taus := make([]*mtbdd.Node, 0, len(links))
+	for _, l := range links {
+		tau, lstat := sc.linkLoad(l)
+		stat.Flows += lstat.Flows
+		stat.Classes += lstat.Classes
+		taus = append(taus, tau)
+	}
+	var tau *mtbdd.Node
+	if max {
+		tau = sc.m.Zero()
+		for _, t := range taus {
+			tau = sc.m.MaxK(tau, t, sc.fv.K)
+		}
+	} else {
+		tau = sc.m.AddNK(taus, sc.fv.K)
+	}
+	stat.Elapsed = time.Since(start)
+	res, restricts := sc.scanPortfolio(tau, checks)
+	return res, stat, restricts
+}
+
 // RunScan runs fn under the verifier's governance ladder: cancellation is
 // checked first, a node-budget breach triggers an engine-wide GC and one
 // retry, and an unrelieved breach is reported as skipped under the degrade

@@ -13,6 +13,7 @@ package core
 import (
 	"encoding/json"
 	"log"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"sort"
@@ -52,12 +53,19 @@ func costKey(net *topo.Network, f topo.Flow) string {
 // and STFs fan back out to every member. When the optimization is
 // disabled every flow is its own class (no merging, same order).
 func classifyFlows(e *Engine, flows []topo.Flow) (classes []flowClass, classOf []int) {
+	return classifyWith(e.classifier, e.net, e.opts.DisableGlobalEquiv, flows)
+}
+
+// classifyWith is classifyFlows over an explicit classifier — the shared
+// core of the engine-attached path and the standalone GlobalClasses
+// helper, so the two can never drift apart.
+func classifyWith(cl *classifier, net *topo.Network, disable bool, flows []topo.Flow) (classes []flowClass, classOf []int) {
 	classes = make([]flowClass, 0, len(flows))
 	classOf = make([]int, len(flows))
-	if e.opts.DisableGlobalEquiv {
+	if disable {
 		for i, f := range flows {
 			classOf[i] = i
-			classes = append(classes, flowClass{rep: f, key: costKey(e.net, f), members: 1})
+			classes = append(classes, flowClass{rep: f, key: costKey(net, f), members: 1})
 		}
 		return classes, classOf
 	}
@@ -68,7 +76,7 @@ func classifyFlows(e *Engine, flows []topo.Flow) (classes []flowClass, classOf [
 	}
 	groups := make(map[gkey]int)
 	for fi, f := range flows {
-		k := gkey{f.Ingress, e.classifier.classOf(f.Dst), f.DSCP}
+		k := gkey{f.Ingress, cl.classOf(f.Dst), f.DSCP}
 		if i, ok := groups[k]; ok {
 			classes[i].rep.Gbps += f.Gbps
 			classes[i].members++
@@ -76,10 +84,26 @@ func classifyFlows(e *Engine, flows []topo.Flow) (classes []flowClass, classOf [
 		} else {
 			groups[k] = len(classes)
 			classOf[fi] = len(classes)
-			classes = append(classes, flowClass{rep: f, key: costKey(e.net, f), members: 1})
+			classes = append(classes, flowClass{rep: f, key: costKey(net, f), members: 1})
 		}
 	}
 	return classes, classOf
+}
+
+// GlobalClasses groups flows into global-equivalence classes over an
+// explicit prefix set, without an engine: the compositional coordinator
+// (internal/compose) uses it to decide, before any symbolic execution,
+// which class representatives exist and which domain each belongs to.
+// Built with the same classifier and grouping code as the engine path, so
+// for the same prefix set the class list and order are identical to what
+// NewAssembledVerifier computes on the check engine.
+func GlobalClasses(net *topo.Network, prefixes []netip.Prefix, flows []topo.Flow, disableGlobalEquiv bool) (reps []topo.Flow, classOf []int) {
+	classes, classOf := classifyWith(newClassifier(nil, prefixes), net, disableGlobalEquiv, flows)
+	reps = make([]topo.Flow, len(classes))
+	for i := range classes {
+		reps[i] = classes[i].rep
+	}
+	return reps, classOf
 }
 
 // mergeFlows returns the executed representatives in class order — the

@@ -1,0 +1,97 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/yu-verify/yu"
+)
+
+// TestModularByteIdentitySweep pins compositional verification's central
+// guarantee on every checked-in example network: for each testdata spec
+// and failure budget, the canonical report rendering is identical between
+// the monolithic pipeline and domain decomposition. Single-AS specs
+// degenerate to a one-domain partition (everything crosses the summary
+// layer machinery but nothing is actually cut) — byte identity must hold
+// there too.
+func TestModularByteIdentitySweep(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".yu") {
+			continue
+		}
+		path := filepath.Join(root, ent.Name())
+		for _, k := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/k=%d", ent.Name(), k), func(t *testing.T) {
+				n, err := yu.LoadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := yu.VerifyOptions{K: k, OverloadFactor: 1.0, Workers: 1}
+				mono, err := n.Verify(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := FormatReport(n.Topology(), mono)
+				for _, domains := range []int{2, 4} {
+					opts.AutoDomains = domains
+					rep, err := n.Verify(opts)
+					if err != nil {
+						t.Fatalf("auto-domains=%d: %v", domains, err)
+					}
+					if got := FormatReport(n.Topology(), rep); got != want {
+						t.Errorf("auto-domains=%d report differs from monolithic\n--- monolithic ---\n%s--- modular ---\n%s",
+							domains, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestModularBreaksNodeBudgetWall is the wan-1 acceptance check as a
+// test: under the separating node budget the monolithic pipeline must
+// fail with ErrNodeBudget while the spec-partitioned modular pipeline
+// verifies — with every class contained, since the blueprint's traffic
+// never crosses a domain border.
+func TestModularBreaksNodeBudgetWall(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "wan-1.yu")
+	n, err := yu.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Spec().Domains) == 0 {
+		t.Fatal("wan-1.yu lost its domain lines")
+	}
+	const budget = 16000
+	opts := yu.VerifyOptions{K: 2, OverloadFactor: 1.0, Workers: 1, MaxNodes: budget}
+	if _, err := n.Verify(opts); !errors.Is(err, yu.ErrNodeBudget) {
+		t.Fatalf("monolithic under budget %d: err = %v, want ErrNodeBudget", budget, err)
+	}
+	opts.Domains = n.Spec().Domains
+	rep, err := n.Verify(opts)
+	if err != nil {
+		t.Fatalf("modular under budget %d: %v", budget, err)
+	}
+	if !rep.Holds {
+		t.Fatalf("wan-1 must verify clean, got %d violations", len(rep.Violations))
+	}
+	m := rep.Modular
+	if m == nil {
+		t.Fatal("modular run reported no modular stats")
+	}
+	if m.FallbackClasses != 0 {
+		t.Fatalf("%d classes fell back on the contained workload", m.FallbackClasses)
+	}
+	if m.DomainPeakNodes >= budget {
+		t.Fatalf("domain peak %d not under the budget %d", m.DomainPeakNodes, budget)
+	}
+}

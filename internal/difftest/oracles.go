@@ -43,6 +43,7 @@ func Battery() []Oracle {
 		{"spec-round-trip", OracleSpecRoundTrip},
 		{"governance", OracleGovernance},
 		{"tlp-portfolio", OracleTLPPortfolio},
+		{"modular-vs-monolithic", OracleModularVsMonolithic},
 	}
 }
 
@@ -516,6 +517,70 @@ func OracleGovernance(c *Case) error {
 		for _, k := range baseKeys {
 			if !unchecked[k] && !degSet[k] {
 				return fmt.Errorf("degrade budget=%d: baseline violation %q missed on a checked target", budget, k)
+			}
+		}
+	}
+	return nil
+}
+
+// OracleModularVsMonolithic checks compositional verification (internal/
+// compose) against the monolithic pipeline: the same case auto-partitioned
+// into 2 and 3 AS-closed domains must render a byte-identical report —
+// same violations, same witnesses, same check statistics — at workers 1
+// and 3. Every modular witness is additionally concretized and re-run
+// through the independent concrete simulator, so a modular run that gets
+// the verdict right with a summary-corrupted witness still fails here.
+func OracleModularVsMonolithic(c *Case) error {
+	net := c.Spec.Net
+	n := yu.FromSpec(c.Spec)
+	mono, err := n.Verify(verifyOpts(c, c.K, 1, yu.EngineYU))
+	if err != nil {
+		return err
+	}
+	monoTxt := FormatReport(net, mono)
+	sim := concrete.NewSim(net, c.Spec.Configs)
+	for _, domains := range []int{2, 3} {
+		for _, workers := range []int{1, 3} {
+			opts := verifyOpts(c, c.K, workers, yu.EngineYU)
+			opts.AutoDomains = domains
+			rep, err := n.Verify(opts)
+			if err != nil {
+				return fmt.Errorf("domains=%d workers=%d: %w", domains, workers, err)
+			}
+			if txt := FormatReport(net, rep); txt != monoTxt {
+				return fmt.Errorf("domains=%d workers=%d report differs\n--- monolithic ---\n%s--- modular ---\n%s",
+					domains, workers, monoTxt, txt)
+			}
+			for i, v := range rep.Violations {
+				if len(v.FailedLinks)+len(v.FailedRouters) > c.K {
+					return fmt.Errorf("domains=%d: violation %d witness has %d failures, budget is %d",
+						domains, i, len(v.FailedLinks)+len(v.FailedRouters), c.K)
+				}
+				sc := concrete.NewScenario(net)
+				for _, l := range v.FailedLinks {
+					sc.LinkDown[l] = true
+				}
+				for _, r := range v.FailedRouters {
+					sc.RouterDown[r] = true
+				}
+				res := sim.Simulate(sc, c.Spec.Flows)
+				var conc float64
+				switch v.Kind {
+				case "link-load":
+					conc = res.Load[v.Link]
+				case "delivered":
+					for fi, f := range c.Spec.Flows {
+						if v.Prefix.Contains(f.Dst) {
+							conc += res.Delivered[fi]
+						}
+					}
+				default:
+					return fmt.Errorf("domains=%d: violation %d has unknown kind %q", domains, i, v.Kind)
+				}
+				if math.Abs(conc-v.Value) > tolerance {
+					return fmt.Errorf("domains=%d: violation %d (%s) reports %.9g, concrete re-run of its witness says %.9g",
+						domains, i, v.Kind, v.Value, conc)
+				}
 			}
 		}
 	}

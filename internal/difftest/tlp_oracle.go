@@ -150,7 +150,141 @@ func OracleTLPPortfolio(c *Case) error {
 		}
 	}
 
-	return oracleTLPConditional(c, n)
+	if err := oracleTLPConditional(c, n); err != nil {
+		return err
+	}
+	return oracleTLPAggregate(c, n)
+}
+
+// oracleTLPAggregate brute-forces the sum/max aggregate properties over a
+// named link set: the concrete worst-case aggregate over every in-budget
+// scenario must be bracketed by the portfolio verdicts — a bound above it
+// holds, a bound clearly below it is violated with a concretely
+// reproducible witness — and the aggregate portfolio report must be
+// byte-identical across worker counts.
+func oracleTLPAggregate(c *Case, n *yu.Network) error {
+	net := c.Spec.Net
+	nset := net.NumLinks()
+	if nset > 3 {
+		nset = 3
+	}
+	if nset == 0 {
+		return nil
+	}
+	members := make([]topo.LinkID, nset)
+	var dirs []topo.DirLinkID
+	for i := 0; i < nset; i++ {
+		members[i] = topo.LinkID(i)
+		dirs = append(dirs,
+			topo.MakeDirLinkID(topo.LinkID(i), topo.AtoB),
+			topo.MakeDirLinkID(topo.LinkID(i), topo.BtoA))
+	}
+
+	sim := concrete.NewSim(net, c.Spec.Configs)
+	worstSum, worstMax := math.Inf(-1), math.Inf(-1)
+	err := forEachScenario(net, c.Mode, c.K, func(links []topo.LinkID, routers []topo.RouterID) error {
+		sc := concrete.NewScenario(net)
+		for _, l := range links {
+			sc.LinkDown[l] = true
+		}
+		for _, r := range routers {
+			sc.RouterDown[r] = true
+		}
+		sres := sim.Simulate(sc, c.Spec.Flows)
+		sum, mx := 0.0, 0.0
+		for _, dl := range dirs {
+			sum += sres.Load[dl]
+			if sres.Load[dl] > mx {
+				mx = sres.Load[dl]
+			}
+		}
+		if sum > worstSum {
+			worstSum = sum
+		}
+		if mx > worstMax {
+			worstMax = mx
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	prop := func(kind topo.TLPKind, max float64) topo.TLProp {
+		return topo.TLProp{Kind: kind, SetName: "agg", AggLinks: members, Max: max}
+	}
+	props := []topo.TLProp{
+		prop(topo.TLPSumLoad, worstSum+1),
+		prop(topo.TLPMaxLoad, worstMax+1),
+	}
+	wantViolated := map[int]float64{} // prop index -> enumerated worst
+	if worstSum > 1 {
+		wantViolated[len(props)] = worstSum
+		props = append(props, prop(topo.TLPSumLoad, worstSum-0.5))
+	}
+	if worstMax > 1 {
+		wantViolated[len(props)] = worstMax
+		props = append(props, prop(topo.TLPMaxLoad, worstMax-0.5))
+	}
+	res, err := n.VerifyPortfolio(props, yu.VerifyOptions{
+		K: c.K, Mode: c.Mode, ModeSet: true, Workers: 1,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range props {
+		vd := res.Verdicts[i]
+		worst, violated := wantViolated[i]
+		if !violated {
+			if vd.Status != tlp.StatusHolds {
+				return fmt.Errorf("aggregate %s bound above enumerated worst: status %v, want holds",
+					canon.FormatProp(net, props[i]), vd.Status)
+			}
+			continue
+		}
+		if vd.Status != tlp.StatusViolated {
+			return fmt.Errorf("aggregate %s bound below enumerated worst %.9g: status %v, want violated",
+				canon.FormatProp(net, props[i]), worst, vd.Status)
+		}
+		if len(vd.FailedLinks)+len(vd.FailedRouters) > c.K {
+			return fmt.Errorf("aggregate witness has %d failures, budget is %d",
+				len(vd.FailedLinks)+len(vd.FailedRouters), c.K)
+		}
+		// Concrete revalidation of the witness's aggregate value.
+		sc := concrete.NewScenario(net)
+		for _, l := range vd.FailedLinks {
+			sc.LinkDown[l] = true
+		}
+		for _, r := range vd.FailedRouters {
+			sc.RouterDown[r] = true
+		}
+		sres := sim.Simulate(sc, c.Spec.Flows)
+		conc := 0.0
+		for _, dl := range dirs {
+			if props[i].Kind == topo.TLPSumLoad {
+				conc += sres.Load[dl]
+			} else if sres.Load[dl] > conc {
+				conc = sres.Load[dl]
+			}
+		}
+		if math.Abs(conc-vd.Value) > tolerance {
+			return fmt.Errorf("aggregate %s witness re-run: reported %.9g, concrete %.9g",
+				canon.FormatProp(net, props[i]), vd.Value, conc)
+		}
+	}
+
+	// Worker-count byte identity, including the agg scan counter.
+	base := canon.FormatPortfolio(net, res)
+	resW, err := n.VerifyPortfolio(props, yu.VerifyOptions{
+		K: c.K, Mode: c.Mode, ModeSet: true, Workers: 3,
+	})
+	if err != nil {
+		return err
+	}
+	if got := canon.FormatPortfolio(net, resW); got != base {
+		return fmt.Errorf("aggregate portfolio differs across workers\n--- workers=1 ---\n%s--- workers=3 ---\n%s", base, got)
+	}
+	return nil
 }
 
 // revalidateVerdict re-runs a violated property's witness scenario

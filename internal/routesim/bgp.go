@@ -134,24 +134,72 @@ type session struct {
 // previous-round RIBs. Advertisements carry the sender's *selection* guard
 // (paper Fig 6: m4's guard is the disjunction of equally preferred m2, m3).
 func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
+	st := NewStepper(fv, cfgs, igp, nil)
+	maxRounds := 2*fv.Net.Diameter() + 8
+	rounds := 0
+	converged := false
+	for round := 1; ; round++ {
+		stable := st.Round()
+		rounds = round
+		if stable {
+			converged = true
+			break
+		}
+		if round >= maxRounds {
+			break
+		}
+	}
+	return st.Finish(rounds, converged)
+}
+
+// Stepper exposes BGP propagation one synchronous round at a time, so a
+// compositional coordinator (internal/compose) can run several domains'
+// steppers in lockstep, exchanging border advertisement templates between
+// rounds. ComputeBGP is itself implemented on the Stepper, so the
+// monolithic path and the per-domain path execute the identical per-round
+// sequence — the foundation of the modular-equals-monolithic guarantee.
+type Stepper struct {
+	b        *BGP
+	igp      *IGP
+	sessions []session
+	seeds    []BGPRIB
+	ribs     []BGPRIB
+	// member is nil for a monolithic run (every router counts toward
+	// stability). In a domain run it flags the domain's own routers:
+	// border stubs neither count toward stability nor build their own
+	// advertisement templates — their templates are injected.
+	member    []bool
+	tpls      []map[netip.Prefix][]advTemplate
+	tplsValid bool
+	stubTpls  []map[netip.Prefix][]advTemplate
+}
+
+// NewStepper builds the session graph and seed RIBs for net under cfgs.
+// Sessions are directional: one entry per (advertiser -> receiver).
+// Configs are walked in sorted-name order: session order decides the
+// insertion order of equally preferred RIB candidates, and float
+// accumulation downstream (ECMP splits summed per rank group) is not
+// associative — map-iteration order would make verification results
+// vary across processes. Configs naming routers absent from fv.Net are
+// skipped, which is what lets a domain run receive the full global
+// config set.
+func NewStepper(fv *FailVars, cfgs config.Configs, igp *IGP, member []bool) *Stepper {
 	net := fv.Net
 	b := &BGP{fv: fv, RIBs: make([]BGPRIB, net.NumRouters())}
-
-	// Sessions are directional: one entry per (advertiser -> receiver).
-	// Configs are walked in sorted-name order: session order decides the
-	// insertion order of equally preferred RIB candidates, and float
-	// accumulation downstream (ECMP splits summed per rank group) is not
-	// associative — map-iteration order would make verification results
-	// vary across processes.
+	st := &Stepper{
+		b:        b,
+		igp:      igp,
+		member:   member,
+		seeds:    make([]BGPRIB, net.NumRouters()),
+		stubTpls: make([]map[netip.Prefix][]advTemplate, net.NumRouters()),
+	}
 	names := make([]string, 0, len(cfgs))
 	for name := range cfgs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var sessions []session
-	seeds := make([]BGPRIB, net.NumRouters())
-	for i := range seeds {
-		seeds[i] = make(BGPRIB)
+	for i := range st.seeds {
+		st.seeds[i] = make(BGPRIB)
 	}
 	for _, name := range names {
 		rc := cfgs[name]
@@ -159,7 +207,7 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 		if r == nil {
 			continue
 		}
-		seedLocal(fv, net, r, rc, seeds[r.ID])
+		seedLocal(fv, net, r, rc, st.seeds[r.ID])
 		// The receiver's config declares the session; build the
 		// advertiser->receiver direction here.
 		for _, nb := range rc.Neighbors {
@@ -168,7 +216,7 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 				if !ok {
 					continue
 				}
-				sessions = append(sessions, session{from: peer.ID, to: r.ID, ebgp: false})
+				st.sessions = append(st.sessions, session{from: peer.ID, to: r.ID, ebgp: false})
 			} else {
 				d, ok := net.DirLinkToAddr(nb.Addr)
 				if !ok {
@@ -182,7 +230,7 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 				// Advertisements flow peer -> r over the reverse edge;
 				// keep the edge for the session-up guard and for the
 				// receiver's outgoing direction toward the peer.
-				sessions = append(sessions, session{from: e.To, to: r.ID, ebgp: true, edge: e, importPref: pref})
+				st.sessions = append(st.sessions, session{from: e.To, to: r.ID, ebgp: true, edge: e, importPref: pref})
 			}
 		}
 	}
@@ -206,61 +254,144 @@ func ComputeBGP(fv *FailVars, cfgs config.Configs, igp *IGP) *BGP {
 			} else if d, ok := net.DirLinkToAddr(nb.Addr); ok {
 				peerID = net.Edge(d).To
 			}
-			for i := range sessions {
-				if sessions[i].from == r.ID && sessions[i].to == peerID {
-					sessions[i].exportDeny = nb.ExportDeny
+			for i := range st.sessions {
+				if st.sessions[i].from == r.ID && st.sessions[i].to == peerID {
+					st.sessions[i].exportDeny = nb.ExportDeny
 				}
 			}
 		}
 	}
+	for i := range st.seeds {
+		st.seeds[i] = b.normalize(st.seeds[i])
+	}
+	st.ribs = st.seeds
+	return st
+}
 
-	for i := range seeds {
-		seeds[i] = b.normalize(seeds[i])
+// ensureTemplates hoists the per-router advertisement templates for the
+// upcoming round: the selection guards and rank-group representatives
+// depend only on the sender's RIB, not on the session, so compute them
+// once per router and prefix per round (critical in iBGP full meshes,
+// where a router advertises the same content to every peer). Border
+// stubs use the injected templates of their home domain instead of their
+// (meaningless) local RIB.
+func (st *Stepper) ensureTemplates() {
+	if st.tplsValid {
+		return
 	}
-	ribs := seeds
-	maxRounds := 2*net.Diameter() + 8
-	for round := 1; ; round++ {
-		// Hoist the per-router advertisement templates: the selection
-		// guards and rank-group representatives depend only on the
-		// sender's RIB, not on the session, so compute them once per
-		// router and prefix per round (critical in iBGP full meshes,
-		// where a router advertises the same content to every peer).
-		templates := make([]map[netip.Prefix][]advTemplate, net.NumRouters())
-		for i := range templates {
-			templates[i] = b.buildTemplates(ribs[i])
+	st.tpls = make([]map[netip.Prefix][]advTemplate, len(st.ribs))
+	for i := range st.tpls {
+		if st.member != nil && !st.member[i] {
+			st.tpls[i] = st.stubTpls[i] // nil advertises nothing
+			continue
 		}
-		next := make([]BGPRIB, net.NumRouters())
-		for i := range next {
-			next[i] = make(BGPRIB)
-			for pfx, cands := range seeds[i] {
-				next[i][pfx] = append([]*BGPCand(nil), cands...)
-			}
-		}
-		for _, s := range sessions {
-			b.advertise(igp, templates[s.from], next[s.to], s)
-		}
-		for i := range next {
-			next[i] = b.normalize(next[i])
-		}
-		stable := true
-		for i := range next {
-			if !sameRIB(ribs[i], next[i]) {
-				stable = false
-				break
-			}
-		}
-		ribs = next
-		b.Rounds = round
-		if stable {
-			b.Converged = true
-			break
-		}
-		if round >= maxRounds {
-			break
+		st.tpls[i] = st.b.buildTemplates(st.ribs[i])
+	}
+	st.tplsValid = true
+}
+
+// Round runs one synchronous advertisement round and reports whether the
+// RIBs were already stable (monolithic: all routers; domain: members
+// only — global stability is the conjunction of the per-domain answers,
+// since members partition the network).
+func (st *Stepper) Round() bool {
+	st.ensureTemplates()
+	next := make([]BGPRIB, len(st.ribs))
+	for i := range next {
+		next[i] = make(BGPRIB)
+		for pfx, cands := range st.seeds[i] {
+			next[i][pfx] = append([]*BGPCand(nil), cands...)
 		}
 	}
-	b.RIBs = ribs
-	return b
+	for _, s := range st.sessions {
+		st.b.advertise(st.igp, st.tpls[s.from], next[s.to], s)
+	}
+	for i := range next {
+		next[i] = st.b.normalize(next[i])
+	}
+	stable := true
+	for i := range next {
+		if st.member != nil && !st.member[i] {
+			continue
+		}
+		if !sameRIB(st.ribs[i], next[i]) {
+			stable = false
+			break
+		}
+	}
+	st.ribs = next
+	st.tplsValid = false
+	return stable
+}
+
+// Finish seals the run, recording the round count and convergence verdict
+// the driver observed, and returns the BGP state.
+func (st *Stepper) Finish(rounds int, converged bool) *BGP {
+	st.b.RIBs = st.ribs
+	st.b.Rounds = rounds
+	st.b.Converged = converged
+	return st.b
+}
+
+// BorderAdv is one rank group of a border router's advertisement template
+// as seen across an AS boundary. Because domains are AS-closed, every
+// cross-domain session is eBGP, and an eBGP advertisement derives from
+// exactly two template fields: the representative's AS path and the
+// group's selection guard — local pref, next hop, out-edge and IGP cost
+// are all reset by the receiver. This pair IS the interface summary unit
+// exchanged between domains.
+type BorderAdv struct {
+	ASPath []uint32
+	Sel    *mtbdd.Node
+}
+
+// BorderTemplates is a border router's advertisement templates: rank
+// groups per prefix, preference-ordered.
+type BorderTemplates map[netip.Prefix][]BorderAdv
+
+// BorderAdvs exports router r's advertisement templates for the upcoming
+// round. The selection guards are nodes of this stepper's manager; the
+// coordinator transfers them across managers (mtbdd.Snapshot) before
+// injecting them into a neighboring domain.
+func (st *Stepper) BorderAdvs(r topo.RouterID) BorderTemplates {
+	st.ensureTemplates()
+	tpls := st.tpls[r]
+	if len(tpls) == 0 {
+		return nil
+	}
+	out := make(BorderTemplates, len(tpls))
+	for pfx, ts := range tpls {
+		advs := make([]BorderAdv, len(ts))
+		for i, t := range ts {
+			advs[i] = BorderAdv{ASPath: t.cand.ASPath, Sel: t.groupSel}
+		}
+		out[pfx] = advs
+	}
+	return out
+}
+
+// SetStubAdvs injects the advertisement templates of border stub r for
+// the upcoming round, replacing last round's injection (nil clears). The
+// selection guards must already live in this stepper's manager.
+func (st *Stepper) SetStubAdvs(r topo.RouterID, advs BorderTemplates) {
+	var tpls map[netip.Prefix][]advTemplate
+	if len(advs) > 0 {
+		tpls = make(map[netip.Prefix][]advTemplate, len(advs))
+		for pfx, as := range advs {
+			ts := make([]advTemplate, len(as))
+			for i, a := range as {
+				ts[i] = advTemplate{
+					cand:     &BGPCand{Prefix: pfx, ASPath: a.ASPath},
+					groupSel: a.Sel,
+				}
+			}
+			tpls[pfx] = ts
+		}
+	}
+	st.stubTpls[r] = tpls
+	if st.tplsValid {
+		st.tpls[r] = tpls
+	}
 }
 
 // advTemplate is one rank group's advertisement content: the

@@ -55,9 +55,19 @@ func RunContext(ctx context.Context, fv *FailVars, cfgs config.Configs) (res *Re
 }
 
 func run(fv *FailVars, cfgs config.Configs) (*Result, error) {
-	net := fv.Net
 	igp := ComputeIGP(fv)
 	bgp := ComputeBGP(fv, cfgs, igp)
+	return FinishRun(fv, cfgs, igp, bgp)
+}
+
+// FinishRun resolves SR policies and static routes on top of an
+// already-computed IGP and BGP state, producing the complete Result. It
+// is the tail of run(), split out so the compositional coordinator
+// (internal/compose) can drive BGP itself — per-domain steppers in
+// lockstep — and still share the exact SR/static resolution code path
+// with the monolithic run.
+func FinishRun(fv *FailVars, cfgs config.Configs, igp *IGP, bgp *BGP) (*Result, error) {
+	net := fv.Net
 	res := &Result{
 		Vars:    fv,
 		IGP:     igp,
@@ -111,4 +121,34 @@ func run(fv *FailVars, cfgs config.Configs) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// EmptyResult returns a route-sim result with no routes at all, sized for
+// fv.Net: every RIB empty, every guard set empty. The compositional
+// check engine uses it when every equivalence class was executed inside a
+// domain — the check manager then never route-simulates the global
+// network, which is the whole point of decomposition. Classification is
+// overridden separately (core.Options.ClassifyPrefixes).
+func EmptyResult(fv *FailVars) *Result {
+	net := fv.Net
+	igp := &IGP{
+		fv:     fv,
+		routes: make([]map[topo.RouterID][]IGPRoute, net.NumRouters()),
+		reach:  make([]map[topo.RouterID]*mtbdd.Node, net.NumRouters()),
+	}
+	for i := range igp.routes {
+		igp.routes[i] = make(map[topo.RouterID][]IGPRoute)
+		igp.reach[i] = make(map[topo.RouterID]*mtbdd.Node)
+	}
+	bgp := &BGP{fv: fv, RIBs: make([]BGPRIB, net.NumRouters()), Converged: true}
+	for i := range bgp.RIBs {
+		bgp.RIBs[i] = make(BGPRIB)
+	}
+	return &Result{
+		Vars:    fv,
+		IGP:     igp,
+		BGP:     bgp,
+		SR:      make([][]GuardedSRPolicy, net.NumRouters()),
+		Statics: make([][]GuardedStatic, net.NumRouters()),
+	}
 }

@@ -84,6 +84,67 @@ func NewFailVars(m *mtbdd.Manager, net *topo.Network, mode topo.FailureMode, k i
 	return fv
 }
 
+// NewFailVarsAliased creates failure variables for a domain subnet that
+// alias the global network's variables: the manager declares the FULL
+// global variable set, in the exact order and with the exact names
+// NewFailVars would produce for the global network, but the per-element
+// lookup tables are indexed by subnet IDs. Guards built in a domain
+// manager therefore have the same canonical structure as the monolithic
+// run's guards over the same elements — KReduce counts failures
+// identically, and cross-manager Import into a manager holding the global
+// NewFailVars is a pure variable-order-preserving copy.
+//
+// Variables of elements outside the subnet are declared (to keep the
+// order aligned) but unmapped: VarElement returns ok=false for them, and
+// no subnet element resolves to them.
+func NewFailVarsAliased(m *mtbdd.Manager, global *topo.Network, sub *topo.Subnet, mode topo.FailureMode, k int) *FailVars {
+	fv := &FailVars{
+		M:         m,
+		Net:       sub.Net,
+		Mode:      mode,
+		K:         k,
+		linkVar:   make([]int, sub.Net.NumLinks()),
+		routerVar: make([]int, sub.Net.NumRouters()),
+	}
+	for i := range fv.linkVar {
+		fv.linkVar[i] = -1
+	}
+	for i := range fv.routerVar {
+		fv.routerVar[i] = -1
+	}
+	if mode == topo.FailLinks || mode == topo.FailBoth {
+		for i := range global.Links {
+			if global.Links[i].NoFail {
+				continue
+			}
+			v := m.AddVar("L:" + global.LinkName(topo.LinkID(i)))
+			fv.kindOf = append(fv.kindOf, varLink)
+			if sl := sub.LinkIndex[i]; sl >= 0 {
+				fv.linkVar[sl] = v
+				fv.elemOf = append(fv.elemOf, int32(sl))
+			} else {
+				fv.elemOf = append(fv.elemOf, -1)
+			}
+		}
+	}
+	if mode == topo.FailRouters || mode == topo.FailBoth {
+		for i := range global.Routers {
+			if global.Routers[i].NoFail {
+				continue
+			}
+			v := m.AddVar("R:" + global.Routers[i].Name)
+			fv.kindOf = append(fv.kindOf, varRouter)
+			if sr := sub.RouterIndex[i]; sr >= 0 {
+				fv.routerVar[sr] = v
+				fv.elemOf = append(fv.elemOf, int32(sr))
+			} else {
+				fv.elemOf = append(fv.elemOf, -1)
+			}
+		}
+	}
+	return fv
+}
+
 // NumVars returns the number of allocated failure variables.
 func (fv *FailVars) NumVars() int { return len(fv.kindOf) }
 

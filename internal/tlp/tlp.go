@@ -42,6 +42,15 @@ type pfxPlan struct {
 	checks []plannedCheck
 }
 
+// aggPlan is the evaluation plan of one (link set, sum|max) aggregate
+// subject: however many properties bound the same aggregate, its symbolic
+// quantity is built and terminal-scanned once.
+type aggPlan struct {
+	links  []topo.DirLinkID
+	max    bool
+	checks []plannedCheck
+}
+
 // Portfolio is a compiled property portfolio: the per-subject evaluation
 // plan Eval serves from one symbolic run.
 type Portfolio struct {
@@ -50,6 +59,7 @@ type Portfolio struct {
 
 	links []linkPlan // ascending DirLinkID
 	pfxs  []pfxPlan  // first-seen order
+	aggs  []aggPlan  // first-seen order
 	// vacuous marks properties decided at compile time without any scan
 	// (delivery ratio with zero offered traffic).
 	vacuous []int
@@ -66,6 +76,7 @@ func Compile(net *topo.Network, flows []topo.Flow, props []topo.TLProp) (*Portfo
 	p := &Portfolio{Net: net, Props: props}
 	byLink := make(map[topo.DirLinkID][]plannedCheck)
 	pfxIdx := make(map[netip.Prefix]int)
+	aggIdx := make(map[string]int)
 
 	addLink := func(d topo.DirLinkID, c plannedCheck) {
 		byLink[d] = append(byLink[d], c)
@@ -159,6 +170,35 @@ func Compile(net *topo.Network, flows []topo.Flow, props []topo.TLProp) (*Portfo
 				}
 			}
 			addPfx(prop.Prefix.Masked(), c)
+		case topo.TLPSumLoad, topo.TLPMaxLoad:
+			if len(prop.AggLinks) == 0 {
+				return nil, fmt.Errorf("tlp: property %d: empty link set", i)
+			}
+			isMax := prop.Kind == topo.TLPMaxLoad
+			var dirs []topo.DirLinkID
+			for _, li := range prop.AggLinks {
+				if int(li) < 0 || int(li) >= net.NumLinks() {
+					return nil, fmt.Errorf("tlp: property %d: linkset link %d out of range", i, li)
+				}
+				dirs = append(dirs,
+					topo.MakeDirLinkID(li, topo.AtoB),
+					topo.MakeDirLinkID(li, topo.BtoA))
+			}
+			// Properties over the same aggregate subject share one plan
+			// (and so one symbolic build + scan), keyed by the expanded
+			// directed-link list — robust to two set names with identical
+			// members.
+			key := fmt.Sprintf("%v|%v", isMax, dirs)
+			ai, ok := aggIdx[key]
+			if !ok {
+				ai = len(p.aggs)
+				aggIdx[key] = ai
+				p.aggs = append(p.aggs, aggPlan{links: dirs, max: isMax})
+			}
+			c := base
+			c.check = core.LinkCheck{Min: prop.Min, Max: prop.Max}
+			p.aggs[ai].checks = append(p.aggs[ai].checks, c)
+			p.NumChecks++
 		default:
 			return nil, fmt.Errorf("tlp: property %d: unknown kind %d", i, int(prop.Kind))
 		}
@@ -248,9 +288,12 @@ type Stats struct {
 	Checks         int
 	LinkScans      int
 	DeliveredScans int
-	RestrictScans  int
-	Violations     int
-	Unchecked      int
+	// AggScans counts the aggregate subjects (link sets) built and
+	// scanned — one per distinct (set, sum|max) pair.
+	AggScans      int
+	RestrictScans int
+	Violations    int
+	Unchecked     int
 }
 
 // Result is a portfolio evaluation outcome.
@@ -355,6 +398,16 @@ func (p *Portfolio) Eval(v *core.Verifier, reg *obs.Registry) (*Result, error) {
 			checks: plan.checks, counter: "tlp.delivered_scans", scanned: &r.Stats.DeliveredScans,
 			scan: func(scs []core.LinkCheck) ([]core.ScanResult, int) {
 				res, _, restr := v.ScanDelivered(plan.pfx, scs)
+				return res, restr
+			},
+		})
+	}
+	for i := range p.aggs {
+		plan := &p.aggs[i]
+		jobs = append(jobs, evalJob{
+			checks: plan.checks, counter: "tlp.agg_scans", scanned: &r.Stats.AggScans,
+			scan: func(scs []core.LinkCheck) ([]core.ScanResult, int) {
+				res, _, restr := v.ScanAggregate(plan.links, plan.max, scs)
 				return res, restr
 			},
 		})

@@ -1,0 +1,249 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition assigns every router to exactly one named domain. Domains are
+// the unit of compositional verification (internal/compose): each domain
+// is route-simulated and symbolically executed on its own subnet against
+// interface summaries exchanged at border links.
+//
+// Partitions are AS-closed: a domain boundary never splits an autonomous
+// system. This makes every cross-domain BGP session an eBGP session, which
+// is what keeps interface summaries small — an eBGP advertisement carries
+// only (prefix, AS path, selection guard) across the border, with local
+// preference, IGP cost, and next hop reset by the receiver.
+type Partition struct {
+	// Net is the global network the partition divides.
+	Net *Network
+	// Names are the domain names, sorted; domain indices are positions in
+	// this slice.
+	Names []string
+	// Domain maps RouterID -> domain index.
+	Domain []int
+}
+
+// NewPartition builds and validates a partition from an explicit
+// domain-name -> router-names assignment (the `domain` DSL line). Every
+// router must be assigned to exactly one domain, and every AS must be
+// wholly contained in one domain.
+func NewPartition(net *Network, domains map[string][]string) (*Partition, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("topo: partition has no domains")
+	}
+	names := make([]string, 0, len(domains))
+	for name := range domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := &Partition{Net: net, Names: names, Domain: make([]int, net.NumRouters())}
+	for i := range p.Domain {
+		p.Domain[i] = -1
+	}
+	for di, name := range names {
+		for _, rn := range domains[name] {
+			r, ok := net.RouterByName(rn)
+			if !ok {
+				return nil, fmt.Errorf("topo: domain %s references unknown router %s", name, rn)
+			}
+			if prev := p.Domain[r.ID]; prev >= 0 {
+				return nil, fmt.Errorf("topo: router %s assigned to both domain %s and %s",
+					rn, names[prev], name)
+			}
+			p.Domain[r.ID] = di
+		}
+	}
+	for id, d := range p.Domain {
+		if d < 0 {
+			return nil, fmt.Errorf("topo: router %s not assigned to any domain", net.Routers[id].Name)
+		}
+	}
+	if err := p.checkASClosed(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AutoPartition bins whole autonomous systems into n domains, balancing
+// router counts (largest AS first into the least-loaded bin). It is the
+// fallback partitioner behind the -auto-domains flag; the result is
+// deterministic for a given network and n.
+func AutoPartition(net *Network, n int) (*Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: auto-partition needs at least 1 domain, got %d", n)
+	}
+	ases := net.ASes()
+	if n > len(ases) {
+		n = len(ases) // AS-closure caps the domain count at the AS count
+	}
+	sizes := make(map[uint32]int, len(ases))
+	for _, r := range net.Routers {
+		sizes[r.AS]++
+	}
+	order := append([]uint32(nil), ases...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if sizes[order[i]] != sizes[order[j]] {
+			return sizes[order[i]] > sizes[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	load := make([]int, n)
+	asDomain := make(map[uint32]int, len(order))
+	for _, as := range order {
+		best := 0
+		for b := 1; b < n; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		asDomain[as] = best
+		load[best] += sizes[as]
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%d", i)
+	}
+	p := &Partition{Net: net, Names: names, Domain: make([]int, net.NumRouters())}
+	for i, r := range net.Routers {
+		p.Domain[i] = asDomain[r.AS]
+	}
+	return p, nil
+}
+
+func (p *Partition) checkASClosed() error {
+	asDomain := make(map[uint32]int)
+	for id, r := range p.Net.Routers {
+		if prev, seen := asDomain[r.AS]; seen {
+			if prev != p.Domain[id] {
+				return fmt.Errorf("topo: AS %d is split across domains %s and %s — domains must be AS-closed",
+					r.AS, p.Names[prev], p.Names[p.Domain[id]])
+			}
+		} else {
+			asDomain[r.AS] = p.Domain[id]
+		}
+	}
+	return nil
+}
+
+// NumDomains returns the number of domains.
+func (p *Partition) NumDomains() int { return len(p.Names) }
+
+// BorderLinks returns the global IDs of links whose endpoints lie in
+// different domains, ascending.
+func (p *Partition) BorderLinks() []LinkID {
+	var out []LinkID
+	for i := range p.Net.Links {
+		l := &p.Net.Links[i]
+		if p.Domain[l.A] != p.Domain[l.B] {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// Subnet is one domain's extracted network: the domain's member routers
+// plus one-hop stubs (foreign routers sharing a link with a member), with
+// the connecting links. Router and link IDs are subnet-local but follow
+// global ID order, so adjacency iteration order — and therefore float
+// accumulation order in symbolic execution — matches the monolithic run
+// exactly for traffic contained in the domain.
+type Subnet struct {
+	// Dom is the domain index in the owning partition.
+	Dom int
+	// Name is the domain name.
+	Name string
+	// Net is the extracted subnet topology.
+	Net *Network
+	// Member reports, per subnet RouterID, whether the router is a domain
+	// member (false = border stub owned by a neighboring domain).
+	Member []bool
+	// ToGlobalRouter maps subnet RouterID -> global RouterID.
+	ToGlobalRouter []RouterID
+	// RouterIndex maps global RouterID -> subnet RouterID, -1 if absent.
+	RouterIndex []RouterID
+	// ToGlobalLink maps subnet LinkID -> global LinkID.
+	ToGlobalLink []LinkID
+	// LinkIndex maps global LinkID -> subnet LinkID, -1 if absent.
+	LinkIndex []LinkID
+	// Border lists the subnet IDs of border links (member<->stub),
+	// ascending.
+	Border []LinkID
+}
+
+// Subnet extracts the given domain's subnet.
+func (p *Partition) Subnet(dom int) (*Subnet, error) {
+	g := p.Net
+	inSub := make([]bool, g.NumRouters())
+	member := make([]bool, g.NumRouters())
+	for id, d := range p.Domain {
+		if d == dom {
+			inSub[id] = true
+			member[id] = true
+		}
+	}
+	// Stubs: foreign endpoints of border links.
+	for i := range g.Links {
+		l := &g.Links[i]
+		if member[l.A] != member[l.B] {
+			inSub[l.A] = true
+			inSub[l.B] = true
+		}
+	}
+	b := NewBuilder()
+	s := &Subnet{
+		Dom:         dom,
+		Name:        p.Names[dom],
+		RouterIndex: make([]RouterID, g.NumRouters()),
+		LinkIndex:   make([]LinkID, g.NumLinks()),
+	}
+	for i := range s.RouterIndex {
+		s.RouterIndex[i] = -1
+	}
+	for i := range s.LinkIndex {
+		s.LinkIndex[i] = -1
+	}
+	for id := range g.Routers {
+		if !inSub[id] {
+			continue
+		}
+		r := &g.Routers[id]
+		opts := []RouterOpt{WithLoopback(r.Loopback)}
+		if r.NoFail {
+			opts = append(opts, RouterNoFail())
+		}
+		sid := b.AddRouter(r.Name, r.AS, opts...)
+		s.RouterIndex[id] = sid
+		s.ToGlobalRouter = append(s.ToGlobalRouter, r.ID)
+		s.Member = append(s.Member, member[id])
+	}
+	for i := range g.Links {
+		l := &g.Links[i]
+		// Include links with both endpoints present and at least one
+		// member endpoint; stub-stub links belong to other domains.
+		if !inSub[l.A] || !inSub[l.B] || (!member[l.A] && !member[l.B]) {
+			continue
+		}
+		opts := []LinkOpt{
+			WithAsymCost(l.CostAB, l.CostBA),
+			WithCapacity(l.Capacity),
+			WithAddrs(l.AddrA, l.AddrB),
+		}
+		if l.NoFail {
+			opts = append(opts, LinkNoFail())
+		}
+		sid := b.AddLink(g.Routers[l.A].Name, g.Routers[l.B].Name, opts...)
+		s.LinkIndex[l.ID] = sid
+		s.ToGlobalLink = append(s.ToGlobalLink, l.ID)
+		if member[l.A] != member[l.B] {
+			s.Border = append(s.Border, sid)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("topo: domain %s subnet: %w", p.Names[dom], err)
+	}
+	s.Net = net
+	return s, nil
+}

@@ -21,6 +21,13 @@ const (
 	// TLPRatio bounds the delivery ratio: delivered traffic into Prefix
 	// divided by the traffic offered to it, in [Min, Max].
 	TLPRatio
+	// TLPSumLoad bounds the summed load over a named link set (both
+	// directions of every member link): total traffic crossing a cut,
+	// a peering surface, or a shared-risk group.
+	TLPSumLoad
+	// TLPMaxLoad bounds the worst per-direction load across a named link
+	// set: "no member of this set carries more than Max".
+	TLPMaxLoad
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +41,10 @@ func (k TLPKind) String() string {
 		return "delivered"
 	case TLPRatio:
 		return "ratio"
+	case TLPSumLoad:
+		return "sum-load"
+	case TLPMaxLoad:
+		return "max-load"
 	}
 	return fmt.Sprintf("TLPKind(%d)", int(k))
 }
@@ -69,4 +80,9 @@ type TLProp struct {
 	// CondSet guards the property on the failure of CondLink.
 	CondSet  bool
 	CondLink LinkID
+	// AggLinks is the member link list of a TLPSumLoad / TLPMaxLoad
+	// aggregate, and SetName the `linkset` name it was declared under
+	// (rendering only — AggLinks is authoritative).
+	AggLinks []LinkID
+	SetName  string
 }

@@ -35,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/yu-verify/yu/internal/compose"
 	"github.com/yu-verify/yu/internal/concrete"
 	"github.com/yu-verify/yu/internal/config"
 	"github.com/yu-verify/yu/internal/core"
@@ -97,6 +98,11 @@ type (
 	// TLPResult is a portfolio evaluation outcome: per-property verdicts
 	// plus violations grouped by witness failure set and ranked by excess.
 	TLPResult = tlp.Result
+	// ModularStats summarizes a compositional (domain-decomposed) run:
+	// domain and border-link counts, lockstep BGP rounds, and how many
+	// equivalence classes were verified inside a domain vs. falling back
+	// to monolithic execution — see Report.Modular.
+	ModularStats = compose.Stats
 )
 
 // NewMetrics returns an empty metrics registry to attach to a run via
@@ -256,6 +262,18 @@ type VerifyOptions struct {
 	// core.STFCache contract. Reports remain byte-identical to uncached
 	// runs when the cache honors it.
 	STFCache STFCache
+	// Domains, when non-nil, turns on compositional verification
+	// (EngineYU only): the named router partition — which must be
+	// AS-closed — is route-simulated and symbolically executed one domain
+	// at a time against interface summaries, breaking the monolithic
+	// MTBDD scaling wall. The spec's own `domain` lines are available as
+	// Spec().Domains. Flows beyond a summary's precision limit fall back
+	// to whole-network execution; reports stay byte-identical to
+	// monolithic runs. An invalid partition is a hard error.
+	Domains map[string][]string
+	// AutoDomains, when > 0 and Domains is nil, partitions the network
+	// automatically into up to that many AS-closed domains.
+	AutoDomains int
 }
 
 // Report is the outcome of a verification run.
@@ -295,6 +313,10 @@ type Report struct {
 	// (EngineYU only) — feed it back via VerifyOptions.CostHints to
 	// warm-start the scheduler of a subsequent run.
 	CostHints map[string]float64
+	// Modular summarizes the compositional pipeline when the run was
+	// domain-decomposed (VerifyOptions.Domains / AutoDomains); nil on
+	// monolithic runs and when composition fell back wholesale.
+	Modular *ModularStats
 }
 
 // Verify runs k-failure TLP verification.
@@ -486,6 +508,9 @@ func (n *Network) VerifyPortfolio(props []TLProp, opts VerifyOptions) (*TLPResul
 }
 
 func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
+	if opts.Domains != nil || opts.AutoDomains > 0 {
+		return n.verifyModular(k, mode, flows, opts, start)
+	}
 	budget := k
 	checkK := 0
 	if opts.DisableKReduce {
@@ -577,6 +602,101 @@ func (n *Network) verifyYU(k int, mode FailureMode, flows []Flow, opts VerifyOpt
 		DegradedFlows:      rep.DegradedFlows,
 		Sched:              ver.SchedStats(),
 		CostHints:          ver.CostHints(),
+	}
+	return out, verr
+}
+
+// verifyModular is the compositional pipeline (DESIGN.md §17): partition
+// the topology into AS-closed domains, verify each domain against
+// interface summaries via internal/compose, and run the usual checks on
+// the assembled verifier. Reports are byte-identical to monolithic runs;
+// inputs the composition cannot handle (incomposable configs, governed
+// domain builds under BudgetDegrade) fall back to the whole-network
+// pipeline, which reproduces the verdict or the error.
+func (n *Network) verifyModular(k int, mode FailureMode, flows []Flow, opts VerifyOptions, start time.Time) (*Report, error) {
+	var part *topo.Partition
+	var perr error
+	if opts.Domains != nil {
+		part, perr = topo.NewPartition(n.spec.Net, opts.Domains)
+	} else {
+		part, perr = topo.AutoPartition(n.spec.Net, opts.AutoDomains)
+	}
+	if perr != nil {
+		return nil, perr // an invalid partition is a configuration error
+	}
+	budget := k
+	checkK := 0
+	if opts.DisableKReduce {
+		budget = -1
+		checkK = k
+	}
+	composeStart := time.Now()
+	built, err := compose.Build(n.spec.Net, n.spec.Configs, part, flows, compose.Options{
+		K:                     budget,
+		CheckK:                checkK,
+		Mode:                  mode,
+		Workers:               opts.Workers,
+		MaxNodes:              opts.MaxNodes,
+		OnBudget:              opts.OnBudget,
+		Ctx:                   opts.Ctx,
+		Obs:                   opts.Obs,
+		DisableLinkLocalEquiv: opts.DisableLinkLocalEquiv,
+		DisableGlobalEquiv:    opts.DisableGlobalEquiv,
+		CostHints:             opts.CostHints,
+	})
+	composeTime := time.Since(composeStart)
+	opts.Obs.AddPhase("compose", composeTime)
+	if err != nil {
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) {
+			out := &Report{
+				Elapsed:      time.Since(start),
+				RouteSimTime: composeTime,
+				FlowsTotal:   len(flows),
+			}
+			n.markAllUnchecked(out, opts.OverloadFactor)
+			return out, err
+		}
+		// Incomposable input or a budget the domains could not hold: the
+		// monolithic pipeline reproduces the verdict or the error.
+		mono := opts
+		mono.Domains, mono.AutoDomains = nil, 0
+		return n.verifyYU(k, mode, flows, mono, start)
+	}
+	ver := built.Verifier
+	checkSpan := opts.Obs.Span("check")
+	rep, verr := ver.Run(n.spec.Props, n.spec.Delivered, opts.OverloadFactor)
+	checkSpan.End()
+	core.RecordManager(opts.Obs, "primary", built.Engine.Manager())
+	if verr == nil && rep.Incomplete && opts.OnBudget == BudgetDegrade && opts.MaxNodes > 0 {
+		// Rung 4 of the degradation ladder, exactly as in the monolithic
+		// pipeline: checks were skipped under the budget, so the whole run
+		// re-verifies concretely for a complete verdict.
+		out, derr := n.verifyEnumerate(k, mode, flows, opts, start)
+		if out != nil {
+			for _, f := range flows {
+				out.DegradedFlows = append(out.DegradedFlows, f.String())
+			}
+			out.RouteSimTime = composeTime
+		}
+		return out, derr
+	}
+	stats := built.Stats
+	out := &Report{
+		Violations:         rep.Violations,
+		Holds:              rep.Holds,
+		Elapsed:            time.Since(start),
+		RouteSimTime:       composeTime,
+		FlowsTotal:         rep.FlowsTotal,
+		FlowsExecuted:      rep.FlowsExecuted,
+		MTBDDNodes:         built.Engine.Manager().Stats().Live,
+		LinkStats:          rep.LinkStats,
+		Incomplete:         rep.Incomplete,
+		Unchecked:          rep.Unchecked,
+		UncheckedDelivered: rep.UncheckedDelivered,
+		DegradedFlows:      rep.DegradedFlows,
+		Sched:              ver.SchedStats(),
+		CostHints:          ver.CostHints(),
+		Modular:            &stats,
 	}
 	return out, verr
 }
